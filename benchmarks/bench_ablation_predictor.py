@@ -1,0 +1,55 @@
+"""Ablation: the arrival-rate predictor (Section VI).
+
+Compares the paper's ARIMA against naive / moving-average / EWMA / Holt
+baselines with rolling-origin one-step forecasts on the real per-group
+arrival series of the shared trace.
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.forecasting import make_predictor, rolling_origin_evaluation
+from repro.trace import PriorityGroup, bin_arrivals
+
+
+def test_predictor_ablation(benchmark, bench_trace):
+    series = bin_arrivals(bench_trace.tasks, bench_trace.horizon, 300.0)
+    predictors = {
+        "naive": lambda: make_predictor("naive"),
+        "moving_average": lambda: make_predictor("moving_average", window=6),
+        "ewma": lambda: make_predictor("ewma", alpha=0.3),
+        "holt": lambda: make_predictor("holt"),
+        "arima(2,0,1)": lambda: make_predictor("arima", order=(2, 0, 1), window=48),
+        # 288 bins of 300 s = the 24 h diurnal period of the trace.
+        "seasonal_ewma": lambda: make_predictor("seasonal_ewma", period=288),
+    }
+
+    rows = []
+    scores = {}
+    for group in PriorityGroup:
+        counts = series.counts.get(group)
+        if counts is None or counts.sum() < 10:
+            continue
+        for name, factory in predictors.items():
+            score = rolling_origin_evaluation(counts, factory, warmup=12)
+            scores.setdefault(name, []).append(score.rmse)
+            rows.append(
+                [group.name.lower(), name, f"{score.mae:.2f}", f"{score.rmse:.2f}"]
+            )
+
+    print("\n=== Ablation: arrival predictors (one-step rolling origin) ===")
+    print(ascii_table(["group", "predictor", "MAE", "RMSE"], rows))
+    mean_rmse = {name: float(np.mean(v)) for name, v in scores.items()}
+    print("mean RMSE:", {k: round(v, 2) for k, v in mean_rmse.items()})
+
+    # ARIMA must be competitive: within 25% of the best baseline.
+    best_baseline = min(v for k, v in mean_rmse.items() if "arima" not in k)
+    assert mean_rmse["arima(2,0,1)"] <= best_baseline * 1.25
+
+    counts = series.counts[PriorityGroup.OTHER]
+    benchmark(
+        rolling_origin_evaluation,
+        counts,
+        predictors["arima(2,0,1)"],
+        12,
+    )

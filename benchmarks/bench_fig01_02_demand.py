@@ -1,0 +1,31 @@
+"""Figs. 1-2: total CPU and memory demand over time.
+
+Regenerates the demand series of Section III-A on the shared evaluation
+trace and benchmarks the demand-timeline kernel.
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_series
+from repro.trace import demand_timeseries
+
+
+def test_fig01_02_total_demand(benchmark, bench_trace):
+    times, cpu, mem = benchmark(demand_timeseries, bench_trace, 300.0)
+
+    print("\n=== Fig. 1: total CPU demand (normalized machine units) ===")
+    print(ascii_series(times, cpu, label="cpu demand"))
+    print("=== Fig. 2: total memory demand ===")
+    print(ascii_series(times, mem, label="memory demand"))
+
+    fleet_cpu = sum(m.cpu_capacity * m.count for m in bench_trace.machine_types)
+    print(
+        f"cpu demand: min {cpu.min():.1f}, max {cpu.max():.1f}, "
+        f"fleet capacity {fleet_cpu:.1f} "
+        f"(peak-to-trough {cpu.max() / max(cpu.min(), 1e-9):.1f}x)"
+    )
+
+    # Paper shape: demand fluctuates significantly over time and never
+    # exceeds what the full cluster could serve at steady state.
+    assert cpu.max() > 1.3 * max(cpu[len(cpu) // 10], 1e-9) or cpu.max() > 2 * cpu.min()
+    assert np.all(cpu >= 0) and np.all(mem >= 0)

@@ -1,0 +1,36 @@
+"""Fig. 5: machine heterogeneity in the compute cluster.
+
+Regenerates the census table: 10 platform types, shares matching the
+paper's population (types 1-2 hold ~50%/~30%, the tail under 1% each).
+"""
+
+from repro.analysis import ascii_table
+from repro.trace import google_like_machine_census, machine_census_table
+
+
+def test_fig05_machine_census(benchmark, bench_trace):
+    rows = benchmark(machine_census_table, bench_trace)
+
+    print("\n=== Fig. 5: machine heterogeneity ===")
+    print(
+        ascii_table(
+            ["platform", "cpu", "memory", "count", "share"],
+            [
+                [r["platform_id"], r["cpu_capacity"], r["memory_capacity"],
+                 r["count"], f"{r['share']:.1%}"]
+                for r in rows
+            ],
+        )
+    )
+
+    assert len(rows) == 10
+    assert 0.45 <= rows[0]["share"] <= 0.60
+    assert 0.25 <= rows[1]["share"] <= 0.35
+    assert all(r["share"] < 0.01 for r in rows[4:])
+    # Capacities normalized to the largest machine.
+    assert max(r["cpu_capacity"] for r in rows) == 1.0
+
+
+def test_fig05_census_scales(benchmark):
+    census = benchmark(google_like_machine_census, 12000)
+    assert sum(m.count for m in census) == 12000

@@ -1,0 +1,36 @@
+"""Fig. 6: CDF of task duration for the three priority groups.
+
+Paper shape: >50% of tasks run under 100 s; 90% of gratis/other durations
+fall below ~10 h; production durations tail out to weeks.
+"""
+
+import numpy as np
+
+from repro.analysis import format_cdf_rows
+from repro.trace import PriorityGroup, duration_cdf_by_group
+
+
+def test_fig06_duration_cdf(benchmark, bench_trace):
+    cdfs = benchmark(duration_cdf_by_group, bench_trace)
+    points = [10, 100, 1000, 36000, 86400 * 5]
+
+    print("\n=== Fig. 6: CDF of task duration ===")
+    fractions = {}
+    for group in PriorityGroup:
+        x, _ = cdfs[group]
+        rows = format_cdf_rows(x, points)
+        fractions[group] = dict(rows)
+        cells = "  ".join(f"{label}:{value:.2f}" for label, value in rows)
+        print(f"  {group.name.lower():>10}  {cells}")
+
+    all_durations = np.array([t.duration for t in bench_trace.tasks])
+    short_fraction = float((all_durations < 100.0).mean())
+    print(f"overall fraction under 100 s: {short_fraction:.1%}")
+
+    # Paper shapes.
+    assert short_fraction > 0.5, "more than 50% of tasks are short"
+    assert fractions[PriorityGroup.GRATIS]["<= 36000s"] > 0.85
+    assert (
+        fractions[PriorityGroup.PRODUCTION]["<= 100s"]
+        <= fractions[PriorityGroup.GRATIS]["<= 100s"]
+    ), "production tasks run longer"

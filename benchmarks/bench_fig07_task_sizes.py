@@ -1,0 +1,41 @@
+"""Fig. 7a-c: task size analysis per priority group.
+
+Paper shapes: sizes span orders of magnitude; 43% of gratis tasks share the
+(0.0125, 0.0159) modal request; large tasks are single-resource intensive
+with little cpu-memory correlation.
+"""
+
+from repro.analysis import ascii_table
+from repro.trace import PriorityGroup, size_scatter_by_group
+
+
+def test_fig07_task_size_analysis(benchmark, bench_trace):
+    scatters = benchmark(size_scatter_by_group, bench_trace)
+
+    print("\n=== Fig. 7: task size analysis ===")
+    rows = []
+    for group in PriorityGroup:
+        s = scatters[group]
+        rows.append(
+            [
+                group.name.lower(),
+                s.num_tasks,
+                f"{s.cpu.min():.5f}",
+                f"{s.cpu.max():.3f}",
+                f"{s.size_span_orders:.1f}",
+                f"{s.cpu_memory_correlation:+.2f}",
+                f"{s.modal_fraction(0.0125, 0.0159):.0%}",
+            ]
+        )
+    print(
+        ascii_table(
+            ["group", "tasks", "cpu min", "cpu max", "span (orders)", "corr", "modal"],
+            rows,
+        )
+    )
+
+    gratis = scatters[PriorityGroup.GRATIS]
+    assert 0.30 <= gratis.modal_fraction(0.0125, 0.0159) <= 0.55
+    for group in PriorityGroup:
+        assert scatters[group].size_span_orders >= 1.5
+        assert abs(scatters[group].cpu_memory_correlation) < 0.7

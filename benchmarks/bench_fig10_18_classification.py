@@ -1,0 +1,71 @@
+"""Figs. 10-18: task classification results (Section IX-A).
+
+Figs. 10-12: number of tasks per class, per priority group.
+Figs. 13/15/17: class centroids (cpu, memory mean ± std).
+Figs. 14/16/18: short/long duration split (second k-means, k=2).
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.classification import ClassifierConfig, DurationCategory, TaskClassifier
+from repro.trace import PriorityGroup
+
+
+def test_fig10_18_classification(benchmark, bench_trace):
+    tasks = list(bench_trace.tasks)
+    classifier = benchmark.pedantic(
+        lambda: TaskClassifier(ClassifierConfig(seed=7)).fit(tasks),
+        rounds=1,
+        iterations=1,
+    )
+
+    for group in PriorityGroup:
+        leaves = classifier.classes_in_group(group)
+        statics = [s for s in classifier.static_classes if s.group is group]
+        print(f"\n=== Figs. 10-18 ({group.name.lower()}): {len(statics)} classes ===")
+        print(
+            ascii_table(
+                ["class", "tasks", "cpu mean±std", "mem mean±std", "split@", "dur mean"],
+                [
+                    [
+                        leaf.name,
+                        leaf.num_tasks,
+                        f"{leaf.cpu_mean:.4f}±{leaf.cpu_std:.4f}",
+                        f"{leaf.memory_mean:.4f}±{leaf.memory_std:.4f}",
+                        _split_of(classifier, leaf),
+                        f"{leaf.duration_mean:.0f}s",
+                    ]
+                    for leaf in leaves
+                ],
+            )
+        )
+
+    # Paper shapes (Section IX-A):
+    # every priority group produced classes;
+    for group in PriorityGroup:
+        assert classifier.classes_in_group(group)
+    # "the standard deviation is much less than the mean value" —
+    # task-weighted, across classes.
+    ratios, weights = [], []
+    for leaf in classifier.classes:
+        if leaf.cpu_mean > 0:
+            ratios.append(leaf.cpu_std / leaf.cpu_mean)
+            weights.append(leaf.num_tasks)
+    assert np.average(ratios, weights=weights) < 0.6
+    # "the number of tasks within each cluster can vary significantly".
+    counts = [leaf.num_tasks for leaf in classifier.classes]
+    assert max(counts) > 10 * min(counts)
+    # The k=2 duration split yields both short and long sub-classes.
+    categories = {leaf.duration_category for leaf in classifier.classes}
+    assert categories == {DurationCategory.SHORT, DurationCategory.LONG}
+    # Long sub-classes have far longer durations than their short siblings.
+    for leaf in classifier.classes:
+        sibling = classifier.sibling(leaf)
+        if sibling is not None and leaf.duration_category is DurationCategory.LONG:
+            assert leaf.duration_mean > 3 * sibling.duration_mean
+
+
+def _split_of(classifier, leaf):
+    boundary = classifier.split_boundary(leaf.group, leaf.static_index)
+    return f"{boundary:.0f}s" if np.isfinite(boundary) else "-"

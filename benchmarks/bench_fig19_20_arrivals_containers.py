@@ -1,0 +1,45 @@
+"""Figs. 19-20: aggregated arrival rates and per-group container counts.
+
+Fig. 19 comes straight from the trace; Fig. 20 is read off the CBS run's
+control decisions (the container manager's per-round demand, aggregated to
+priority groups) — containers track the arrival dynamics.
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_series
+from repro.trace import PriorityGroup, arrival_rate_series
+
+
+def test_fig19_arrival_rates(benchmark, bench_trace):
+    rates = benchmark(arrival_rate_series, bench_trace, 300.0)
+    num_bins = len(next(iter(rates.values())))
+    times = (np.arange(num_bins) + 0.5) * 300.0
+
+    print("\n=== Fig. 19: aggregated task arrival rates ===")
+    for group in PriorityGroup:
+        per_hour = rates[group] * 3600.0
+        print(ascii_series(times, per_hour, height=5,
+                           label=f"{group.name.lower()} (tasks/hour)"))
+        assert per_hour.sum() > 0
+
+    # Gratis + other dominate arrivals (production is the smallest stream).
+    totals = {g: rates[g].sum() for g in PriorityGroup}
+    assert totals[PriorityGroup.PRODUCTION] < totals[PriorityGroup.OTHER]
+
+
+def test_fig20_containers_by_group(benchmark, policy_results):
+    result = policy_results["cbs"]
+    times, by_group = benchmark(result.metrics.containers_series)
+
+    print("\n=== Fig. 20: total containers per priority group (CBS) ===")
+    for group in PriorityGroup:
+        series = by_group[group]
+        if series.size:
+            print(ascii_series(times, series, height=5, label=group.name.lower()))
+
+    total = sum(series.sum() for series in by_group.values())
+    assert total > 0
+    # Containers exist for every group once the run is warm.
+    for group in PriorityGroup:
+        assert by_group[group][2:].max() > 0

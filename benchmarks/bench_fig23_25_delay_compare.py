@@ -1,0 +1,57 @@
+"""Figs. 23-25: scheduling delay under baseline / CBP / CBS.
+
+(The figure captions between Fig. 22 and Fig. 26 are lost in the available
+text; per the narrative they compare task scheduling delay per priority
+group across the three policies — CBS best, baseline worst for large
+tasks, CBP in between.  See DESIGN.md.)
+"""
+
+from repro.analysis import ascii_table, format_cdf_rows
+from repro.trace import PriorityGroup
+
+
+def test_fig23_25_delay_comparison(benchmark, policy_results, bench_trace):
+    points = [1, 60, 300, 1800]
+    horizon = bench_trace.horizon
+
+    print("\n=== Figs. 23-25: scheduling delay CDFs per policy ===")
+    stats = {}
+    for policy in ("baseline", "cbp", "cbs"):
+        result = policy_results[policy]
+        delays = result.metrics.delays_by_group(include_unscheduled_at=horizon)
+        print(f"  --- {policy} ---")
+        for group in PriorityGroup:
+            rows = format_cdf_rows(delays[group], points)
+            cells = "  ".join(f"{label}:{value:.2f}" for label, value in rows)
+            print(f"    {group.name.lower():>10}  {cells}")
+        stats[policy] = {
+            "mean": result.metrics.mean_delay(include_unscheduled_at=horizon),
+            "p95_prod": result.metrics.delay_percentile(
+                95, PriorityGroup.PRODUCTION, include_unscheduled_at=horizon
+            ),
+            "unscheduled": result.metrics.num_unscheduled,
+        }
+
+    benchmark.pedantic(
+        lambda: policy_results["cbs"].metrics.delays_by_group(
+            include_unscheduled_at=horizon
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        ascii_table(
+            ["policy", "mean delay (s)", "p95 production (s)", "unscheduled"],
+            [
+                [p, f"{s['mean']:.1f}", f"{s['p95_prod']:.1f}", s["unscheduled"]]
+                for p, s in stats.items()
+            ],
+        )
+    )
+
+    # Paper shape: the container-based policies keep the production tail
+    # competitive with the heterogeneity-oblivious baseline.
+    assert stats["cbs"]["p95_prod"] <= stats["baseline"]["p95_prod"] * 1.25
+    # Everyone schedules the vast majority of the workload in this regime.
+    for policy, s in stats.items():
+        assert s["unscheduled"] < 0.10 * bench_trace.num_tasks

@@ -1,0 +1,103 @@
+"""Fig. 26: total energy consumption — the headline result.
+
+The paper reports CBS cutting energy ~28% vs. the heterogeneity-oblivious
+baseline on a 29-day, 10,000-machine simulation.  At laptop scale the gap
+is regime-dependent (see EXPERIMENTS.md):
+
+* **standard regime** (moderate load, nobody starves): the baseline
+  free-rides — its 80% bottleneck rule needs no per-class reservations —
+  while CBS pays the SLO machinery's premium (headroom + sizing + packing
+  slack).  CBS still picks *cheaper machines per watt* (the
+  heterogeneity-awareness itself).
+* **pressure regime** (memory-bound, near fleet capacity): shape-matching
+  dominates and CBS's energy drops well below the baseline, at the price
+  of shedding the lowest-utility work (the formulation's explicit choice).
+
+This bench reports both; the paper's headline direction is asserted in the
+pressure regime.
+"""
+
+from repro.analysis import ascii_table
+from repro.energy import table2_fleet
+from repro.simulation import HarmonyConfig, run_policy_comparison
+from repro.simulation.harmony import energy_savings
+from repro.trace import SyntheticTraceConfig, generate_trace
+
+
+def _table(results, trace):
+    savings = energy_savings(results)
+    rows = []
+    for policy, r in results.items():
+        watts_per_machine = (
+            r.energy_kwh * 1000.0 / (trace.horizon / 3600.0)
+            / max(r.metrics.mean_active_machines(), 1e-9)
+        )
+        rows.append(
+            [
+                policy,
+                f"{r.energy_kwh:.1f}",
+                f"{r.total_cost:.2f}",
+                f"{r.metrics.mean_active_machines():.1f}",
+                f"{watts_per_machine:.0f}",
+                r.metrics.num_unscheduled,
+                f"{savings[policy]:+.1%}",
+            ]
+        )
+    return rows, savings
+
+
+def test_fig26_standard_regime(benchmark, policy_results, bench_trace):
+    rows, savings = benchmark.pedantic(
+        lambda: _table(policy_results, bench_trace), rounds=1, iterations=1
+    )
+    print("\n=== Fig. 26 (standard regime): total energy ===")
+    print(
+        ascii_table(
+            ["policy", "kWh", "total $", "mean machines", "W/machine",
+             "unscheduled", "vs baseline"],
+            rows,
+        )
+    )
+    # Everybody serves the workload in this regime.
+    for policy, result in policy_results.items():
+        assert result.metrics.num_unscheduled < 0.10 * bench_trace.num_tasks, policy
+    # Heterogeneity-awareness buys cheaper machines per watt even when the
+    # total doesn't win: CBS's fleet mix draws fewer watts per machine.
+    def watts(policy):
+        r = policy_results[policy]
+        return r.energy_kwh / max(r.metrics.mean_active_machines(), 1e-9)
+    assert watts("cbs") <= watts("baseline") * 1.02
+    # The premium stays bounded.
+    assert savings["cbs"] > -0.35
+
+
+def test_fig26_pressure_regime(benchmark, bench_classifier):
+    fleet_types = tuple(m.to_machine_type() for m in table2_fleet(0.1))
+    trace = generate_trace(
+        SyntheticTraceConfig(
+            horizon_hours=2.0, seed=7, total_machines=400, load_factor=0.75,
+            constraint_platforms=fleet_types,
+        )
+    )
+    results = run_policy_comparison(
+        trace, HarmonyConfig(), policies=("baseline", "cbs")
+    )
+    rows, savings = benchmark.pedantic(
+        lambda: _table(results, trace), rounds=1, iterations=1
+    )
+    print("\n=== Fig. 26 (pressure regime): total energy ===")
+    print(
+        ascii_table(
+            ["policy", "kWh", "total $", "mean machines", "W/machine",
+             "unscheduled", "vs baseline"],
+            rows,
+        )
+    )
+    print(
+        "note: under pressure CBS sheds the lowest-utility (gratis) work "
+        "by design — the energy saving is partly capacity it refuses to buy."
+    )
+    # The paper's headline direction: CBS's energy cost is well below the
+    # heterogeneity-oblivious baseline under capacity pressure.
+    assert savings["cbs"] > 0.08
+    assert results["cbs"].energy_kwh < results["baseline"].energy_kwh

@@ -1,0 +1,45 @@
+"""Extra comparison: the reactive threshold autoscaler.
+
+Not in the paper — the classic rule-based autoscaler slots between the
+static cluster and model-driven provisioning.  This bench runs it on the
+shared trace and places it in the Fig. 26 table alongside the paper's
+policies.
+"""
+
+from repro.analysis import ascii_table
+from repro.simulation import HarmonyConfig, HarmonySimulation
+
+
+def test_threshold_autoscaler_comparison(benchmark, policy_results, bench_trace, bench_classifier):
+    config = HarmonyConfig(policy="threshold")
+    result = HarmonySimulation(config, bench_trace, classifier=bench_classifier).run()
+
+    benchmark.pedantic(result.metrics.machines_series, rounds=1, iterations=1)
+    rows = []
+    all_results = dict(policy_results)
+    all_results["threshold"] = result
+    baseline_cost = all_results["baseline"].total_cost
+    for policy, r in all_results.items():
+        rows.append(
+            [
+                policy,
+                f"{r.energy_kwh:.1f}",
+                f"{r.total_cost:.2f}",
+                f"{r.metrics.mean_active_machines():.1f}",
+                f"{r.metrics.mean_delay(include_unscheduled_at=bench_trace.horizon):.0f}s",
+                r.metrics.num_unscheduled,
+                f"{1.0 - r.total_cost / baseline_cost:+.1%}",
+            ]
+        )
+
+    print("\n=== Threshold autoscaler vs the paper's policies ===")
+    print(
+        ascii_table(
+            ["policy", "kWh", "total $", "mean machines", "mean delay",
+             "unscheduled", "vs baseline"],
+            rows,
+        )
+    )
+
+    # The autoscaler must function: serve most of the workload reactively.
+    assert result.metrics.num_scheduled > 0.85 * bench_trace.num_tasks

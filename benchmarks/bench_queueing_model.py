@@ -1,0 +1,59 @@
+"""Model-validation bench: Eqs. 1-2 against a discrete-event M/G/N queue.
+
+Not a paper figure per se, but the load-bearing approximation behind
+Fig. 20's container counts — worth regenerating alongside the figures.
+"""
+
+from repro.analysis import ascii_table
+from repro.queueing import (
+    erlang_c,
+    mgn_mean_wait,
+    required_containers,
+    simulate_mgn_queue,
+)
+
+
+def test_eq1_eq2_against_simulation(benchmark):
+    cases = [
+        # (lambda, mu, N, scv)
+        (8.0, 1.0, 10, 1.0),
+        (4.0, 1.0, 6, 1.0),
+        (16.0, 2.0, 10, 0.5),
+        (4.0, 1.0, 6, 4.0),
+    ]
+    rows = []
+    for lam, mu, n, scv in cases:
+        predicted = mgn_mean_wait(lam, mu, n, scv)
+        simulated = simulate_mgn_queue(
+            lam, mu, n, scv, num_tasks=30_000, seed=1
+        ).mean_wait
+        error = abs(predicted - simulated) / max(simulated, 1e-9)
+        rows.append(
+            [f"l={lam} mu={mu} N={n} CV2={scv}",
+             f"{predicted:.3f}", f"{simulated:.3f}", f"{error:.0%}"]
+        )
+        if scv <= 1.0:
+            assert error < 0.6, "Allen-Cunneen out of its accuracy class"
+        else:
+            # Heavy-tailed (lognormal CV^2 = 4) service: the approximation
+            # is conservative — it overestimates the wait (never dangerous
+            # for provisioning) but by up to ~2x on the mean.
+            assert predicted >= simulated * 0.5
+            assert error < 2.0
+
+    print("\n=== Eq. 1 mean wait vs discrete-event M/G/N ===")
+    print(ascii_table(["case", "Eq.1 (s)", "simulated (s)", "rel err"], rows))
+
+    benchmark(mgn_mean_wait, 8.0, 1.0, 10, 1.0)
+
+
+def test_container_inversion_bench(benchmark):
+    n = benchmark(required_containers, 50.0, 0.01, 60.0, 2.0)
+    assert mgn_mean_wait(50.0, 0.01, n, 2.0) <= 60.0
+    print(f"\nrequired containers for l=50/s, 100 s tasks, 60 s SLO: {n}")
+
+
+def test_erlang_c_scaling(benchmark):
+    """Erlang-C must stay stable and fast at data-center scale."""
+    value = benchmark(erlang_c, 5000.0, 5200)
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,89 @@
+"""Lemma 1 validation: first-fit rounding of random CBS-RELAX optima.
+
+Lemma 1: given a fractional solution with z* type-m machines and x*
+containers, first-fit places floor(x/(2|R|)) of every container type in
+z*+1 machines.  We solve randomized instances and verify the guarantee,
+plus report how much better the practical rounder does than the bound.
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.provisioning import (
+    CbsRelaxSolver,
+    ContainerType,
+    FirstFitRounder,
+    MachineClass,
+    ProvisioningProblem,
+    UtilityFunction,
+    first_fit_pack,
+)
+
+
+def random_problem(rng):
+    machines = (
+        MachineClass(1, "small", (0.25, 0.25), int(rng.integers(4, 30)),
+                     60.0, (40.0, 10.0), 0.0),
+        MachineClass(2, "big", (1.0, 1.0), int(rng.integers(4, 30)),
+                     200.0, (150.0, 40.0), 0.0),
+    )
+    num_containers = int(rng.integers(2, 5))
+    containers = tuple(
+        ContainerType(
+            n,
+            f"c{n}",
+            (float(rng.uniform(0.02, 0.5)), float(rng.uniform(0.02, 0.5))),
+            UtilityFunction.capped_linear(0.05, 1000),
+        )
+        for n in range(num_containers)
+    )
+    demand = rng.uniform(1, 40, size=(1, num_containers))
+    return ProvisioningProblem(
+        machines=machines,
+        containers=containers,
+        demand=demand,
+        prices=np.array([0.1]),
+        interval_seconds=300.0,
+    )
+
+
+def test_lemma1_randomized(benchmark):
+    rng = np.random.default_rng(123)
+    solver = CbsRelaxSolver()
+    rounder = FirstFitRounder()
+    rows = []
+    violations = 0
+    practical_ratios = []
+
+    for trial in range(30):
+        problem = random_problem(rng)
+        solution = solver.solve(problem)
+        scaled = rounder.lemma1_scaled_counts(problem, solution)
+        for m, machine in enumerate(problem.machines):
+            budget = int(np.floor(solution.z[0, m])) + 1
+            _, leftover = first_fit_pack(
+                scaled[m],
+                [c.size for c in problem.containers],
+                machine.capacity,
+                max_machines=budget,
+            )
+            if leftover.sum() > 0:
+                violations += 1
+        plan = rounder.round(problem, solution)
+        practical_ratios.append(plan.placement_ratio(solution.scheduled(0)))
+
+    rows.append(["Lemma 1 violations", f"{violations}/60 machine-classes"])
+    rows.append(["practical rounder placement", f"{np.mean(practical_ratios):.1%} of x*"])
+    print("\n=== Lemma 1 rounding guarantee ===")
+    print(ascii_table(["metric", "value"], rows))
+
+    assert violations == 0
+    # The practical rounder does far better than the 1/(2|R|) = 25% bound.
+    assert np.mean(practical_ratios) > 0.7
+
+    # Benchmark one solve+round cycle.
+    problem = random_problem(np.random.default_rng(7))
+    def cycle():
+        solution = solver.solve(problem)
+        return rounder.round(problem, solution)
+    benchmark(cycle)

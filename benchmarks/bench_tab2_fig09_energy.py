@@ -1,0 +1,62 @@
+"""Table II + Fig. 9: the simulated server fleet and its power curves.
+
+Regenerates the machine-configuration table and the energy-vs-utilization
+curves, checking the Fig. 9 narrative: a 0.2-cpu-unit container cannot fit
+a PowerEdge R210 and is cheapest to host on an HP DL385 G7.
+"""
+
+from repro.analysis import ascii_table
+from repro.energy import TABLE2_MODELS, table2_fleet
+
+
+def test_table2_machine_configurations(benchmark):
+    fleet = benchmark(table2_fleet, 1.0)
+
+    print("\n=== Table II: machine configurations ===")
+    print(
+        ascii_table(
+            ["model", "cpu (norm)", "memory (norm)", "machines", "idle W", "peak W"],
+            [
+                [m.name, f"{m.cpu_capacity:.3f}", f"{m.memory_capacity:.3f}",
+                 m.count, m.idle_watts, m.peak_watts]
+                for m in fleet
+            ],
+        )
+    )
+    assert [m.count for m in fleet] == [7000, 1500, 1000, 500]
+    dl585 = next(m for m in fleet if m.name == "HP DL585 G7")
+    assert dl585.cpu_capacity == 1.0 and dl585.memory_capacity == 1.0
+
+
+def test_fig09_power_curves(benchmark):
+    benchmark(TABLE2_MODELS[0].power_at, 0.5, 0.5)
+    print("\n=== Fig. 9: machine energy consumption rate ===")
+    utilizations = [0.0, 0.25, 0.5, 0.75, 1.0]
+    rows = []
+    for model in TABLE2_MODELS:
+        rows.append(
+            [model.name] + [f"{model.power_at(u, u):.0f}" for u in utilizations]
+        )
+    print(ascii_table(["model"] + [f"u={u}" for u in utilizations], rows))
+
+    by_name = {m.name: m for m in TABLE2_MODELS}
+    r210 = by_name["Dell PowerEdge R210"]
+    dl385 = by_name["HP DL385 G7"]
+    r515 = by_name["Dell PowerEdge R515"]
+    dl585 = by_name["HP DL585 G7"]
+
+    # The paper's example: a container requiring 0.2 CPU units...
+    container_cpu = 0.2
+    # ...cannot be placed on the R210 (insufficient capacity)...
+    assert container_cpu > r210.cpu_capacity
+    # ...and among the machines that can host it, the DL385 G7 burns the
+    # least power for it ("the other types ... will consume much more
+    # energy").
+    def hosting_watts(model):
+        util = container_cpu / model.cpu_capacity
+        idle_share = model.idle_watts * util  # amortized idle per busy share
+        dynamic = model.power_model.alpha_watts[0] * util
+        return idle_share + dynamic
+
+    assert hosting_watts(dl385) < hosting_watts(r515)
+    assert hosting_watts(dl385) < hosting_watts(dl585)

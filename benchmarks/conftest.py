@@ -1,0 +1,66 @@
+"""Shared fixtures for the figure/table reproduction benches.
+
+The expensive artifacts — the evaluation trace, the fitted classifier and
+the three-policy comparison run — are built once per session and shared by
+every bench that reads from them (Figs. 19-26).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classification import ClassifierConfig, TaskClassifier
+from repro.energy import table2_fleet
+from repro.simulation import HarmonyConfig, run_policy_comparison
+from repro.trace import SyntheticTraceConfig, generate_trace
+
+#: One knob for the evaluation scale.  The policy comparison needs enough
+#: horizon and load for the baseline's shape-blindness to matter without
+#: saturating the scaled-down fleet's memory; 4 h at load 0.6 is the
+#: laptop-scale operating point (see EXPERIMENTS.md for the sensitivity
+#: discussion).
+BENCH_HOURS = 4.0
+BENCH_MACHINES = 400
+BENCH_SEED = 7
+BENCH_LOAD = 0.5
+
+
+@pytest.fixture(scope="session")
+def bench_trace():
+    """The evaluation trace all figure benches share.
+
+    Placement constraints are drawn against the Table II fleet the
+    simulation benches use, so the Section III-B "difficult to schedule"
+    tasks stay meaningful at replay time.
+    """
+    fleet_types = tuple(m.to_machine_type() for m in table2_fleet(0.1))
+    return generate_trace(
+        SyntheticTraceConfig(
+            horizon_hours=BENCH_HOURS,
+            seed=BENCH_SEED,
+            total_machines=BENCH_MACHINES,
+            load_factor=BENCH_LOAD,
+            constraint_platforms=fleet_types,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_classifier(bench_trace):
+    """Classifier fitted on the evaluation trace (Section V)."""
+    return TaskClassifier(ClassifierConfig(seed=BENCH_SEED)).fit(list(bench_trace.tasks))
+
+
+@pytest.fixture(scope="session")
+def policy_results(bench_trace):
+    """CBS / CBP / baseline runs over the shared trace (Figs. 20-26)."""
+    return run_policy_comparison(bench_trace, HarmonyConfig())
+
+
+@pytest.fixture(scope="session")
+def static_result(bench_trace, bench_classifier):
+    """All-machines-on replay (the Section III status quo, Figs. 3-4)."""
+    from repro.simulation import HarmonySimulation
+
+    config = HarmonyConfig(policy="static")
+    return HarmonySimulation(config, bench_trace, classifier=bench_classifier).run()

@@ -1,0 +1,79 @@
+"""The paper's headline experiment: CBS vs CBP vs heterogeneity-oblivious.
+
+Usage::
+
+    python examples/policy_comparison.py [--hours 6] [--seed 7] [--load 0.6]
+
+Replays the same trace under the three provisioning policies of Section IX
+and prints the Figs. 21-26 data: active servers over time, scheduling-delay
+distributions per priority group, and total energy with relative savings.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import ascii_series, ascii_table, format_cdf_rows
+from repro.simulation import HarmonyConfig, run_policy_comparison
+from repro.simulation.harmony import energy_savings
+from repro.trace import PriorityGroup, SyntheticTraceConfig, generate_trace
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=float, default=6.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--load", type=float, default=0.6)
+    args = parser.parse_args()
+
+    trace = generate_trace(
+        SyntheticTraceConfig(
+            horizon_hours=args.hours,
+            seed=args.seed,
+            total_machines=400,
+            load_factor=args.load,
+        )
+    )
+    print(f"trace: {trace.num_tasks} tasks over {args.hours:.0f} h")
+
+    results = run_policy_comparison(trace, HarmonyConfig())
+
+    print("\n== Active servers over time (Figs. 21-22) ==")
+    for policy, result in results.items():
+        times, powered = result.metrics.machines_series()
+        if times.size:
+            print(ascii_series(times, powered, height=6, label=policy))
+
+    print("\n== Scheduling delay per priority group (Figs. 23-25) ==")
+    points = [1, 60, 300, 1800, 7200]
+    for policy, result in results.items():
+        print(f"  --- {policy} ---")
+        delays = result.metrics.delays_by_group(include_unscheduled_at=trace.horizon)
+        for group in PriorityGroup:
+            rows = format_cdf_rows(delays[group], points)
+            cells = "  ".join(f"{label}:{frac:.2f}" for label, frac in rows)
+            print(f"    {group.name.lower():>10}  {cells}")
+
+    print("\n== Total energy (Fig. 26) ==")
+    savings = energy_savings(results)
+    rows = [
+        [
+            policy,
+            f"{r.energy_kwh:.1f}",
+            f"${r.energy_cost:.2f}",
+            f"${r.switch_cost:.2f}",
+            f"${r.total_cost:.2f}",
+            f"{savings[policy]:+.1%}",
+        ]
+        for policy, r in results.items()
+    ]
+    print(
+        ascii_table(
+            ["policy", "kWh", "energy $", "switch $", "total $", "vs baseline"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for legacy editable installs on environments without PEP 517 wheel support."""
+
+from setuptools import setup
+
+setup()

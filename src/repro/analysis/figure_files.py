@@ -1,0 +1,127 @@
+"""Write the paper's figures as SVG files.
+
+``render_trace_figures`` covers the Section III characterization
+(Figs. 1-2, 6, 9, 19); ``render_policy_figures`` the evaluation
+(Figs. 21-26).  Exposed on the CLI as ``python -m repro figures``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.svg import BarChart, LineChart
+from repro.energy import TABLE2_MODELS
+from repro.simulation import SimulationResult
+from repro.trace import PriorityGroup, Trace
+from repro.trace.statistics import duration_cdf_by_group, empirical_cdf
+from repro.trace.workload import arrival_rate_series, demand_timeseries
+
+
+def render_trace_figures(trace: Trace, out_dir: str | Path) -> list[Path]:
+    """Figs. 1, 2, 6, 9, 19 from a trace; returns the written paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    times, cpu, memory = demand_timeseries(trace, 300.0)
+    hours = times / 3600.0
+    fig1 = LineChart(
+        title="Fig. 1: Total CPU demand", x_label="time (h)",
+        y_label="normalized machine units",
+    ).add("cpu demand", hours, cpu)
+    fig1.save(out / "fig01_cpu_demand.svg")
+    written.append(out / "fig01_cpu_demand.svg")
+
+    fig2 = LineChart(
+        title="Fig. 2: Total memory demand", x_label="time (h)",
+        y_label="normalized machine units",
+    ).add("memory demand", hours, memory)
+    fig2.save(out / "fig02_memory_demand.svg")
+    written.append(out / "fig02_memory_demand.svg")
+
+    fig6 = LineChart(
+        title="Fig. 6: CDF of task duration", x_label="duration (s)",
+        y_label="fraction of tasks", log_x=True,
+    )
+    for group, (x, f) in duration_cdf_by_group(trace).items():
+        if x.size:
+            fig6.add(group.name.lower(), x, f, step=True)
+    fig6.save(out / "fig06_duration_cdf.svg")
+    written.append(out / "fig06_duration_cdf.svg")
+
+    fig9 = LineChart(
+        title="Fig. 9: Machine energy consumption rate",
+        x_label="cpu utilization", y_label="watts",
+    )
+    utilization = np.linspace(0.0, 1.0, 11)
+    for model in TABLE2_MODELS:
+        fig9.add(model.name, utilization,
+                 np.array([model.power_at(u, u) for u in utilization]))
+    fig9.save(out / "fig09_energy_curves.svg")
+    written.append(out / "fig09_energy_curves.svg")
+
+    rates = arrival_rate_series(trace, 300.0)
+    num_bins = len(next(iter(rates.values())))
+    rate_hours = (np.arange(num_bins) + 0.5) * 300.0 / 3600.0
+    fig19 = LineChart(
+        title="Fig. 19: Aggregated task arrival rates",
+        x_label="time (h)", y_label="tasks per hour",
+    )
+    for group in PriorityGroup:
+        fig19.add(group.name.lower(), rate_hours, rates[group] * 3600.0)
+    fig19.save(out / "fig19_arrival_rates.svg")
+    written.append(out / "fig19_arrival_rates.svg")
+
+    return written
+
+
+def render_policy_figures(
+    results: dict[str, SimulationResult],
+    horizon: float,
+    out_dir: str | Path,
+) -> list[Path]:
+    """Figs. 21-26 from policy-comparison results; returns written paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    fig2122 = LineChart(
+        title="Figs. 21-22: Active servers", x_label="time (h)",
+        y_label="machines powered",
+    )
+    for policy, result in results.items():
+        times, powered = result.metrics.machines_series()
+        if times.size:
+            fig2122.add(policy, times / 3600.0, powered, step=True)
+    fig2122.save(out / "fig21_22_active_servers.svg")
+    written.append(out / "fig21_22_active_servers.svg")
+
+    for group, figure_name in (
+        (PriorityGroup.GRATIS, "fig23_delay_gratis"),
+        (PriorityGroup.OTHER, "fig24_delay_other"),
+        (PriorityGroup.PRODUCTION, "fig25_delay_production"),
+    ):
+        chart = LineChart(
+            title=f"{figure_name.split('_')[0].capitalize()}: scheduling delay "
+            f"CDF ({group.name.lower()})",
+            x_label="delay (s)", y_label="fraction of tasks", log_x=True,
+        )
+        for policy, result in results.items():
+            delays = result.metrics.delays_by_group(include_unscheduled_at=horizon)[group]
+            # log axis: clamp instant placements to 1 second.
+            x, f = empirical_cdf(np.maximum(np.asarray(delays), 1.0))
+            if x.size:
+                chart.add(policy, x, f, step=True)
+        path = out / f"{figure_name}.svg"
+        chart.save(path)
+        written.append(path)
+
+    fig26 = BarChart(title="Fig. 26: Total energy consumption", y_label="kWh")
+    for policy, result in results.items():
+        fig26.add(policy, result.energy_kwh)
+    fig26.save(out / "fig26_total_energy.svg")
+    written.append(out / "fig26_total_energy.svg")
+
+    return written

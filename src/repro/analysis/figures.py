@@ -1,0 +1,169 @@
+"""Per-figure data extraction.
+
+Each ``fig_*`` function returns a :class:`FigureData` whose ``series`` /
+``rows`` carry exactly what the corresponding paper figure plots, so benches
+and EXPERIMENTS.md consume one uniform shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.classification.classifier import TaskClassifier
+from repro.energy.models import MachineModel
+from repro.simulation.harmony import SimulationResult
+from repro.trace.schema import Trace
+from repro.trace.statistics import (
+    duration_cdf_by_group,
+    empirical_cdf,
+    machine_census_table,
+    size_scatter_by_group,
+)
+from repro.trace.workload import arrival_rate_series, demand_timeseries
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """Uniform figure payload: named series and/or table rows."""
+
+    figure: str
+    title: str
+    series: dict[str, tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+
+def fig_demand_series(trace: Trace, bin_seconds: float = 300.0) -> tuple[FigureData, FigureData]:
+    """Figs. 1-2: total CPU and memory demand over time."""
+    times, cpu, memory = demand_timeseries(trace, bin_seconds)
+    fig1 = FigureData(
+        figure="fig1",
+        title="Total CPU demand",
+        series={"cpu_demand": (times, cpu)},
+        notes="normalized machine units; includes pending tasks",
+    )
+    fig2 = FigureData(
+        figure="fig2",
+        title="Total memory demand",
+        series={"memory_demand": (times, memory)},
+    )
+    return fig1, fig2
+
+
+def fig_machine_census(trace: Trace) -> FigureData:
+    """Fig. 5: machine heterogeneity (types, capacities, counts)."""
+    return FigureData(
+        figure="fig5",
+        title="Machine heterogeneity in compute cluster",
+        rows=machine_census_table(trace),
+    )
+
+
+def fig_delay_cdf(result: SimulationResult) -> FigureData:
+    """Figs. 4 / 23-25: scheduling delay CDF per priority group."""
+    series = {}
+    delays = result.metrics.delays_by_group(include_unscheduled_at=result.horizon)
+    for group, values in delays.items():
+        x, f = empirical_cdf(values)
+        series[group.name.lower()] = (x, f)
+    return FigureData(
+        figure="fig4",
+        title=f"CDF of scheduling delay ({result.policy})",
+        series=series,
+    )
+
+
+def fig_duration_cdf(trace: Trace) -> FigureData:
+    """Fig. 6: task duration CDF per priority group."""
+    series = {
+        group.name.lower(): cdf
+        for group, cdf in duration_cdf_by_group(trace).items()
+    }
+    return FigureData(figure="fig6", title="CDF of task duration", series=series)
+
+
+def fig_task_sizes(trace: Trace) -> FigureData:
+    """Fig. 7a-c: task size (cpu, memory) per priority group."""
+    rows = []
+    for group, scatter in size_scatter_by_group(trace).items():
+        rows.append(
+            {
+                "group": group.name.lower(),
+                "num_tasks": scatter.num_tasks,
+                "cpu_min": float(scatter.cpu.min()) if scatter.num_tasks else 0.0,
+                "cpu_max": float(scatter.cpu.max()) if scatter.num_tasks else 0.0,
+                "size_span_orders": scatter.size_span_orders,
+                "cpu_memory_correlation": scatter.cpu_memory_correlation,
+                "modal_fraction": scatter.modal_fraction(0.0125, 0.0159),
+            }
+        )
+    return FigureData(figure="fig7", title="Task size analysis", rows=rows)
+
+
+def fig_energy_curves(
+    models: tuple[MachineModel, ...], points: int = 11
+) -> FigureData:
+    """Fig. 9: power vs CPU utilization per machine model."""
+    series = {}
+    utilization = np.linspace(0.0, 1.0, points)
+    for model in models:
+        watts = np.array([model.power_at(u, u) for u in utilization])
+        series[model.name] = (utilization, watts)
+    return FigureData(
+        figure="fig9",
+        title="Machine energy consumption rate",
+        series=series,
+        notes="memory utilization tracks cpu utilization",
+    )
+
+
+def fig_classification(classifier: TaskClassifier) -> FigureData:
+    """Figs. 10-18: per-class sizes, centroids and short/long split."""
+    return FigureData(
+        figure="fig10-18",
+        title="Task classification results",
+        rows=classifier.summary(),
+    )
+
+
+def fig_arrival_rates(trace: Trace, bin_seconds: float = 300.0) -> FigureData:
+    """Fig. 19: aggregated task arrival rates per priority group."""
+    rates = arrival_rate_series(trace, bin_seconds)
+    num_bins = len(next(iter(rates.values())))
+    times = (np.arange(num_bins) + 0.5) * bin_seconds
+    return FigureData(
+        figure="fig19",
+        title="Aggregated task arrival rates",
+        series={g.name.lower(): (times, r) for g, r in rates.items()},
+    )
+
+
+def fig_active_servers(result: SimulationResult) -> FigureData:
+    """Figs. 21-22: active servers over time for one policy."""
+    times, powered = result.metrics.machines_series()
+    return FigureData(
+        figure="fig21-22",
+        title=f"Active servers ({result.policy})",
+        series={"active_servers": (times, powered)},
+    )
+
+
+def fig_energy_comparison(results: dict[str, SimulationResult]) -> FigureData:
+    """Fig. 26: total energy consumption per policy."""
+    rows = [
+        {
+            "policy": policy,
+            "energy_kwh": result.energy_kwh,
+            "energy_cost": result.energy_cost,
+            "switch_cost": result.switch_cost,
+            "total_cost": result.total_cost,
+        }
+        for policy, result in results.items()
+    ]
+    baseline = next((r for p, r in results.items() if p == "baseline"), None)
+    if baseline is not None and baseline.total_cost > 0:
+        for row in rows:
+            row["savings_vs_baseline"] = 1.0 - row["total_cost"] / baseline.total_cost
+    return FigureData(figure="fig26", title="Total energy consumption", rows=rows)

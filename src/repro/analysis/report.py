@@ -1,0 +1,85 @@
+"""Plain-text rendering of figure/table data.
+
+Benches print through these helpers so their output reads like the paper's
+tables: fixed-width columns, explicit units, no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render rows as a fixed-width table."""
+    formatted_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in formatted_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def ascii_series(
+    times: np.ndarray,
+    values: np.ndarray,
+    width: int = 60,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """A small ASCII line chart, for eyeballing time series in bench output."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.size == 0 or values.size == 0:
+        return f"{label}: (empty series)"
+    # Downsample to the target width by bin means.
+    bins = np.array_split(values, min(width, values.size))
+    sampled = np.array([b.mean() for b in bins])
+    low, high = float(sampled.min()), float(sampled.max())
+    span = high - low or 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = low + span * (level - 0.5) / height
+        row = "".join("#" if v >= threshold else " " for v in sampled)
+        rows.append(row)
+    lines = []
+    if label:
+        lines.append(f"{label}  [min={low:.4g}, max={high:.4g}]")
+    lines.extend(rows)
+    lines.append("-" * len(sampled))
+    lines.append(f"t: {times[0]:.0f}s .. {times[-1]:.0f}s")
+    return "\n".join(lines)
+
+
+def format_cdf_rows(
+    values: np.ndarray, points: Sequence[float], unit: str = "s"
+) -> list[tuple[str, float]]:
+    """CDF evaluated at chosen points as (label, fraction) rows."""
+    values = np.sort(np.asarray(values, dtype=float))
+    rows = []
+    for point in points:
+        if values.size == 0:
+            fraction = float("nan")
+        else:
+            fraction = float(np.searchsorted(values, point, side="right")) / values.size
+        rows.append((f"<= {point:g}{unit}", fraction))
+    return rows

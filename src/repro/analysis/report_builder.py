@@ -1,0 +1,143 @@
+"""One-call markdown reproduction report.
+
+``build_report`` runs the full evaluation pipeline on a trace — Section III
+characterization, classification, the three-policy comparison — and emits a
+self-contained markdown document mirroring EXPERIMENTS.md's structure.
+Exposed on the CLI as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro.analysis.figures import (
+    fig_energy_comparison,
+    fig_task_sizes,
+)
+from repro.simulation import HarmonyConfig, SimulationResult, run_policy_comparison
+from repro.simulation.harmony import energy_savings
+from repro.trace import PriorityGroup, Trace, trace_summary, validate_trace
+from repro.trace.statistics import cdf_at
+
+
+def _markdown_table(headers: list[str], rows: list[list]) -> str:
+    out = io.StringIO()
+    out.write("| " + " | ".join(headers) + " |\n")
+    out.write("|" + "|".join("---" for _ in headers) + "|\n")
+    for row in rows:
+        out.write("| " + " | ".join(str(c) for c in row) + " |\n")
+    return out.getvalue()
+
+
+def build_report(
+    trace: Trace,
+    config: HarmonyConfig | None = None,
+    results: dict[str, SimulationResult] | None = None,
+    policies: tuple[str, ...] = ("baseline", "cbp", "cbs"),
+) -> str:
+    """Run the evaluation on ``trace`` and return a markdown report.
+
+    Pass pre-computed ``results`` to skip re-running the simulations.
+    """
+    config = config or HarmonyConfig()
+    if results is None:
+        results = run_policy_comparison(trace, config, policies=policies)
+
+    out = io.StringIO()
+    out.write("# HARMONY reproduction report\n\n")
+
+    summary = trace_summary(trace)
+    out.write("## Workload (Section III)\n\n")
+    out.write(
+        _markdown_table(
+            ["metric", "value"],
+            [[k, v] for k, v in summary.items()],
+        )
+    )
+
+    out.write("\n### Calibration vs the paper's marginals\n\n")
+    report = validate_trace(trace)
+    out.write(
+        _markdown_table(
+            ["check", "target", "measured", "status"],
+            [check.row() for check in report.checks],
+        )
+    )
+
+    out.write("\n### Task sizes (Fig. 7)\n\n")
+    sizes = fig_task_sizes(trace)
+    out.write(
+        _markdown_table(
+            ["group", "tasks", "span (orders)", "cpu-mem corr", "modal share"],
+            [
+                [r["group"], r["num_tasks"], f"{r['size_span_orders']:.1f}",
+                 f"{r['cpu_memory_correlation']:+.2f}", f"{r['modal_fraction']:.0%}"]
+                for r in sizes.rows
+            ],
+        )
+    )
+
+    out.write("\n## Policy comparison (Figs. 21-26)\n\n")
+    savings = energy_savings(results) if "baseline" in results else {}
+    rows = []
+    for policy, result in results.items():
+        rows.append(
+            [
+                policy,
+                f"{result.energy_kwh:.1f}",
+                f"{result.total_cost:.2f}",
+                f"{result.metrics.mean_active_machines():.1f}",
+                f"{result.metrics.mean_delay(include_unscheduled_at=trace.horizon):.1f}",
+                result.metrics.num_unscheduled,
+                f"{savings.get(policy, 0.0):+.1%}" if savings else "-",
+            ]
+        )
+    out.write(
+        _markdown_table(
+            ["policy", "kWh", "total $", "mean machines", "mean delay (s)",
+             "unscheduled", "vs baseline"],
+            rows,
+        )
+    )
+
+    out.write("\n### Scheduling delay CDFs (Figs. 23-25)\n\n")
+    points = [1.0, 60.0, 300.0, 1800.0]
+    for policy, result in results.items():
+        delays = result.metrics.delays_by_group(include_unscheduled_at=trace.horizon)
+        out.write(f"\n**{policy}**\n\n")
+        rows = []
+        for group in PriorityGroup:
+            fractions = cdf_at(np.asarray(delays[group]), points)
+            rows.append(
+                [group.name.lower()]
+                + [f"{frac:.2f}" if frac == frac else "-" for frac in fractions]
+            )
+        out.write(
+            _markdown_table(
+                ["group"] + [f"<= {p:g}s" for p in points],
+                rows,
+            )
+        )
+
+    out.write("\n## Energy (Fig. 26)\n\n")
+    energy = fig_energy_comparison(results)
+    out.write(
+        _markdown_table(
+            ["policy", "kWh", "energy $", "switch $", "total $", "vs baseline"],
+            [
+                [
+                    r["policy"],
+                    f"{r['energy_kwh']:.1f}",
+                    f"{r['energy_cost']:.2f}",
+                    f"{r['switch_cost']:.2f}",
+                    f"{r['total_cost']:.2f}",
+                    f"{r.get('savings_vs_baseline', 0.0):+.1%}",
+                ]
+                for r in energy.rows
+            ],
+        )
+    )
+    out.write("\n")
+    return out.getvalue()

@@ -1,0 +1,345 @@
+"""Dependency-free SVG charts.
+
+matplotlib is unavailable in many offline environments, so figure files
+are rendered with a small hand-rolled SVG writer: multi-series line
+charts (linear or log10 x), step charts and grouped bar charts — enough
+for every figure in the paper.  Output is plain SVG 1.1, viewable in any
+browser.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: A colorblind-safe categorical palette (Okabe-Ito).
+PALETTE = (
+    "#0072B2",  # blue
+    "#D55E00",  # vermillion
+    "#009E73",  # green
+    "#CC79A7",  # purple
+    "#E69F00",  # orange
+    "#56B4E9",  # sky
+    "#F0E442",  # yellow
+    "#000000",  # black
+)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _nice_ticks(low: float, high: float, count: int = 5) -> list[float]:
+    """Round tick positions covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    raw_step = span / max(count - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * magnitude
+        if span / step <= count:
+            break
+    start = math.floor(low / step) * step
+    ticks = []
+    tick = start
+    while tick <= high + step * 1e-9:
+        if tick >= low - step * 1e-9:
+            ticks.append(round(tick, 10))
+        tick += step
+    return ticks or [low, high]
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10000 or abs(value) < 0.01:
+        return f"{value:.0e}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2g}"
+
+
+@dataclass
+class Series:
+    """One named line on a chart."""
+
+    name: str
+    x: np.ndarray
+    y: np.ndarray
+    color: str = ""
+    step: bool = False
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float)
+        self.y = np.asarray(self.y, dtype=float)
+        if self.x.shape != self.y.shape:
+            raise ValueError(f"series {self.name!r}: x and y must align")
+
+
+@dataclass
+class LineChart:
+    """A multi-series line/step chart with axes, ticks and a legend."""
+
+    title: str
+    x_label: str = ""
+    y_label: str = ""
+    width: int = 640
+    height: int = 400
+    log_x: bool = False
+    series: list[Series] = field(default_factory=list)
+
+    #: Plot-area margins: left, top, right, bottom.
+    _margins: tuple[int, int, int, int] = (64, 40, 150, 48)
+
+    def add(self, name: str, x, y, step: bool = False) -> "LineChart":
+        color = PALETTE[len(self.series) % len(PALETTE)]
+        self.series.append(Series(name=name, x=np.asarray(x), y=np.asarray(y),
+                                  color=color, step=step))
+        return self
+
+    # ------------------------------------------------------------ rendering
+
+    def _domain(self) -> tuple[float, float, float, float]:
+        xs = np.concatenate([s.x for s in self.series if s.x.size])
+        ys = np.concatenate([s.y for s in self.series if s.y.size])
+        if self.log_x:
+            xs = xs[xs > 0]
+            if xs.size == 0:
+                raise ValueError("log_x chart needs positive x values")
+            x_low, x_high = float(np.log10(xs.min())), float(np.log10(xs.max()))
+            if x_high - x_low < 1e-9:
+                x_high = x_low + 1.0
+        else:
+            x_low, x_high = float(xs.min()), float(xs.max())
+            if x_high - x_low < 1e-9:
+                x_high = x_low + 1.0
+        y_low = min(float(ys.min()), 0.0)
+        y_high = float(ys.max())
+        if y_high - y_low < 1e-9:
+            y_high = y_low + 1.0
+        return x_low, x_high, y_low, y_high
+
+    def _transforms(self):
+        left, top, right, bottom = self._margins
+        plot_w = self.width - left - right
+        plot_h = self.height - top - bottom
+        x_low, x_high, y_low, y_high = self._domain()
+
+        def tx(x: float) -> float:
+            value = math.log10(x) if self.log_x else x
+            return left + (value - x_low) / (x_high - x_low) * plot_w
+
+        def ty(y: float) -> float:
+            return top + plot_h - (y - y_low) / (y_high - y_low) * plot_h
+
+        return tx, ty, (x_low, x_high, y_low, y_high)
+
+    def render(self) -> str:
+        """Render to an SVG document string."""
+        if not self.series:
+            raise ValueError("chart has no series")
+        left, top, right, bottom = self._margins
+        tx, ty, (x_low, x_high, y_low, y_high) = self._transforms()
+        parts: list[str] = []
+        parts.append(
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}" '
+            f'font-family="sans-serif">'
+        )
+        parts.append(f'<rect width="{self.width}" height="{self.height}" fill="white"/>')
+        parts.append(
+            f'<text x="{self.width / 2}" y="22" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">{_escape(self.title)}</text>'
+        )
+
+        # Axes frame.
+        plot_right = self.width - right
+        plot_bottom = self.height - bottom
+        parts.append(
+            f'<rect x="{left}" y="{top}" width="{plot_right - left}" '
+            f'height="{plot_bottom - top}" fill="none" stroke="#888"/>'
+        )
+
+        # X ticks.
+        if self.log_x:
+            exponents = range(math.floor(x_low), math.ceil(x_high) + 1)
+            x_ticks = [10.0 ** e for e in exponents]
+        else:
+            x_ticks = _nice_ticks(x_low, x_high)
+        for tick in x_ticks:
+            px = tx(tick)
+            if px < left - 1 or px > plot_right + 1:
+                continue
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{plot_bottom}" x2="{px:.1f}" '
+                f'y2="{plot_bottom + 5}" stroke="#555"/>'
+            )
+            parts.append(
+                f'<text x="{px:.1f}" y="{plot_bottom + 18}" text-anchor="middle" '
+                f'font-size="11">{_format_tick(tick)}</text>'
+            )
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{top}" x2="{px:.1f}" y2="{plot_bottom}" '
+                f'stroke="#eee"/>'
+            )
+
+        # Y ticks.
+        for tick in _nice_ticks(y_low, y_high):
+            py = ty(tick)
+            if py < top - 1 or py > plot_bottom + 1:
+                continue
+            parts.append(
+                f'<line x1="{left - 5}" y1="{py:.1f}" x2="{left}" y2="{py:.1f}" '
+                f'stroke="#555"/>'
+            )
+            parts.append(
+                f'<text x="{left - 8}" y="{py + 4:.1f}" text-anchor="end" '
+                f'font-size="11">{_format_tick(tick)}</text>'
+            )
+            parts.append(
+                f'<line x1="{left}" y1="{py:.1f}" x2="{plot_right}" y2="{py:.1f}" '
+                f'stroke="#eee"/>'
+            )
+
+        # Axis labels.
+        if self.x_label:
+            parts.append(
+                f'<text x="{(left + plot_right) / 2}" y="{self.height - 10}" '
+                f'text-anchor="middle" font-size="12">{_escape(self.x_label)}</text>'
+            )
+        if self.y_label:
+            cy = (top + plot_bottom) / 2
+            parts.append(
+                f'<text x="16" y="{cy}" text-anchor="middle" font-size="12" '
+                f'transform="rotate(-90 16 {cy})">{_escape(self.y_label)}</text>'
+            )
+
+        # Series.
+        for series in self.series:
+            if series.x.size == 0:
+                continue
+            if self.log_x:
+                mask = series.x > 0
+                xs, ys = series.x[mask], series.y[mask]
+            else:
+                xs, ys = series.x, series.y
+            points: list[str] = []
+            previous_y = None
+            for x, y in zip(xs, ys):
+                px, py = tx(float(x)), ty(float(y))
+                if series.step and previous_y is not None:
+                    points.append(f"{px:.1f},{previous_y:.1f}")
+                points.append(f"{px:.1f},{py:.1f}")
+                previous_y = py
+            parts.append(
+                f'<polyline fill="none" stroke="{series.color}" stroke-width="1.8" '
+                f'points="{" ".join(points)}"/>'
+            )
+
+        # Legend.
+        legend_x = plot_right + 10
+        for i, series in enumerate(self.series):
+            ly = top + 14 + i * 18
+            parts.append(
+                f'<line x1="{legend_x}" y1="{ly - 4}" x2="{legend_x + 18}" '
+                f'y2="{ly - 4}" stroke="{series.color}" stroke-width="2.5"/>'
+            )
+            parts.append(
+                f'<text x="{legend_x + 24}" y="{ly}" font-size="11">'
+                f"{_escape(series.name)}</text>"
+            )
+
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.render())
+
+
+@dataclass
+class BarChart:
+    """A simple grouped/vertical bar chart."""
+
+    title: str
+    y_label: str = ""
+    width: int = 560
+    height: int = 360
+    labels: list[str] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+    colors: list[str] = field(default_factory=list)
+
+    def add(self, label: str, value: float) -> "BarChart":
+        self.labels.append(label)
+        self.values.append(float(value))
+        self.colors.append(PALETTE[len(self.colors) % len(PALETTE)])
+        return self
+
+    def render(self) -> str:
+        if not self.values:
+            raise ValueError("bar chart has no bars")
+        left, top, right, bottom = 64, 40, 20, 56
+        plot_w = self.width - left - right
+        plot_h = self.height - top - bottom
+        y_high = max(max(self.values), 1e-9)
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}" '
+            f'font-family="sans-serif">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2}" y="22" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">{_escape(self.title)}</text>',
+        ]
+        for tick in _nice_ticks(0.0, y_high):
+            py = top + plot_h - tick / y_high * plot_h
+            parts.append(
+                f'<line x1="{left}" y1="{py:.1f}" x2="{self.width - right}" '
+                f'y2="{py:.1f}" stroke="#eee"/>'
+            )
+            parts.append(
+                f'<text x="{left - 8}" y="{py + 4:.1f}" text-anchor="end" '
+                f'font-size="11">{_format_tick(tick)}</text>'
+            )
+        n = len(self.values)
+        slot = plot_w / n
+        bar_w = slot * 0.6
+        for i, (label, value, color) in enumerate(
+            zip(self.labels, self.values, self.colors)
+        ):
+            x = left + i * slot + (slot - bar_w) / 2
+            h = value / y_high * plot_h
+            y = top + plot_h - h
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                f'height="{h:.1f}" fill="{color}"/>'
+            )
+            parts.append(
+                f'<text x="{x + bar_w / 2:.1f}" y="{top + plot_h + 16}" '
+                f'text-anchor="middle" font-size="11">{_escape(label)}</text>'
+            )
+            parts.append(
+                f'<text x="{x + bar_w / 2:.1f}" y="{y - 4:.1f}" '
+                f'text-anchor="middle" font-size="10">{_format_tick(value)}</text>'
+            )
+        if self.y_label:
+            cy = top + plot_h / 2
+            parts.append(
+                f'<text x="16" y="{cy}" text-anchor="middle" font-size="12" '
+                f'transform="rotate(-90 16 {cy})">{_escape(self.y_label)}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.render())

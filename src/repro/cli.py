@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+generate
+    Synthesize a calibrated trace and save it as CSV.
+analyze
+    Print the Section III workload characterization of a saved trace.
+classify
+    Fit the two-step task classifier and print the class table.
+simulate
+    Run one provisioning policy over a trace and print the summary.
+compare
+    Run baseline/CBP/CBS over the same trace and print Figs. 21-26 data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import ascii_table
+from repro.classification import ClassifierConfig, TaskClassifier
+from repro.simulation import HarmonyConfig, HarmonySimulation, run_policy_comparison
+from repro.simulation.harmony import POLICIES, energy_savings
+from repro.trace import (
+    SyntheticTraceConfig,
+    Trace,
+    generate_trace,
+    load_trace,
+    save_trace,
+    trace_summary,
+)
+
+
+def _load_or_generate(args: argparse.Namespace) -> Trace:
+    if getattr(args, "trace", None):
+        return load_trace(args.trace)
+    return generate_trace(
+        SyntheticTraceConfig(
+            horizon_hours=args.hours,
+            seed=args.seed,
+            total_machines=args.machines,
+            load_factor=args.load,
+        )
+    )
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", type=Path, default=None,
+                        help="directory of a saved trace (default: generate)")
+    parser.add_argument("--hours", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--machines", type=int, default=400)
+    parser.add_argument("--load", type=float, default=0.55)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    trace = _load_or_generate(args)
+    save_trace(trace, args.output)
+    print(f"saved {trace.num_tasks} tasks / {trace.num_machines} machines "
+          f"to {args.output}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    trace = _load_or_generate(args)
+    print(json.dumps(trace_summary(trace), indent=2))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.trace import validate_trace
+
+    trace = _load_or_generate(args)
+    report = validate_trace(trace)
+    print(
+        ascii_table(
+            ["check", "target", "measured", "status"],
+            [check.row() for check in report.checks],
+            title="Calibration vs the paper's Section III marginals",
+        )
+    )
+    return 0 if report.passed else 1
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    trace = _load_or_generate(args)
+    classifier = TaskClassifier(ClassifierConfig(seed=args.seed)).fit(list(trace.tasks))
+    rows = classifier.summary()
+    print(
+        ascii_table(
+            ["class", "tasks", "cpu mean", "mem mean", "duration", "CV^2"],
+            [
+                [r["name"], r["num_tasks"], f"{r['cpu_mean']:.4f}",
+                 f"{r['memory_mean']:.4f}", f"{r['duration_mean_s']:.0f}s",
+                 f"{r['duration_scv']:.2f}"]
+                for r in rows
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    trace = _load_or_generate(args)
+    config = HarmonyConfig(policy=args.policy)
+    result = HarmonySimulation(config, trace).run()
+    print(json.dumps(result.summary(), indent=2))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    trace = _load_or_generate(args)
+    results = run_policy_comparison(trace, HarmonyConfig())
+    savings = energy_savings(results)
+    print(
+        ascii_table(
+            ["policy", "kWh", "total $", "mean machines", "mean delay (s)",
+             "unscheduled", "vs baseline"],
+            [
+                [
+                    policy,
+                    f"{r.energy_kwh:.1f}",
+                    f"{r.total_cost:.2f}",
+                    f"{r.metrics.mean_active_machines():.1f}",
+                    f"{r.metrics.mean_delay(include_unscheduled_at=trace.horizon):.1f}",
+                    r.metrics.num_unscheduled,
+                    f"{savings[policy]:+.1%}",
+                ]
+                for policy, r in results.items()
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import build_report
+
+    trace = _load_or_generate(args)
+    markdown = build_report(trace, HarmonyConfig())
+    args.output.write_text(markdown)
+    print(f"wrote {args.output} ({len(markdown.splitlines())} lines)")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis import render_policy_figures, render_trace_figures
+    from repro.simulation import run_policy_comparison
+
+    trace = _load_or_generate(args)
+    written = render_trace_figures(trace, args.output)
+    if not args.trace_only:
+        results = run_policy_comparison(trace, HarmonyConfig())
+        written += render_policy_figures(results, trace.horizon, args.output)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HARMONY reproduction toolkit"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="synthesize and save a trace")
+    _add_trace_args(generate)
+    generate.add_argument("output", type=Path, help="output directory")
+    generate.set_defaults(fn=cmd_generate)
+
+    analyze = subparsers.add_parser("analyze", help="summarize a trace")
+    _add_trace_args(analyze)
+    analyze.set_defaults(fn=cmd_analyze)
+
+    validate = subparsers.add_parser(
+        "validate", help="check a trace against the paper's marginals"
+    )
+    _add_trace_args(validate)
+    validate.set_defaults(fn=cmd_validate)
+
+    classify = subparsers.add_parser("classify", help="fit and print task classes")
+    _add_trace_args(classify)
+    classify.set_defaults(fn=cmd_classify)
+
+    simulate = subparsers.add_parser("simulate", help="run one policy")
+    _add_trace_args(simulate)
+    simulate.add_argument("--policy", choices=POLICIES, default="cbs")
+    simulate.set_defaults(fn=cmd_simulate)
+
+    compare = subparsers.add_parser("compare", help="baseline vs CBP vs CBS")
+    _add_trace_args(compare)
+    compare.set_defaults(fn=cmd_compare)
+
+    report = subparsers.add_parser(
+        "report", help="run the evaluation and write a markdown report"
+    )
+    _add_trace_args(report)
+    report.add_argument("output", type=Path, help="markdown file to write")
+    report.set_defaults(fn=cmd_report)
+
+    figures = subparsers.add_parser(
+        "figures", help="render the paper's figures as SVG files"
+    )
+    _add_trace_args(figures)
+    figures.add_argument("output", type=Path, help="output directory")
+    figures.add_argument(
+        "--trace-only", action="store_true",
+        help="only the Section III figures (skip the policy simulations)",
+    )
+    figures.set_defaults(fn=cmd_figures)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Choosing k: inertia curves, the elbow rule, and silhouette scores.
+
+Section IX-A: "the best value of k for each priority group is selected as the
+one for which no significant benefit can be achieved by increasing the value
+of k" — i.e. the elbow rule on the inertia curve, implemented here as the
+smallest k whose marginal relative inertia improvement falls below a
+threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.kmeans import KMeans, _squared_distances
+
+
+def inertia_curve(
+    data: np.ndarray,
+    k_values: list[int] | range,
+    seed: int = 0,
+    n_init: int = 2,
+) -> dict[int, float]:
+    """Inertia of the best K-means fit for each candidate k."""
+    data = np.asarray(data, dtype=float)
+    curve: dict[int, float] = {}
+    for k in k_values:
+        result = KMeans(k=k, n_init=n_init, seed=seed).fit(data)
+        curve[k] = result.inertia
+    return curve
+
+
+def select_k_elbow(
+    data: np.ndarray,
+    k_max: int = 12,
+    improvement_threshold: float = 0.05,
+    seed: int = 0,
+) -> tuple[int, dict[int, float]]:
+    """Pick k with the elbow rule.
+
+    Starting from k=1, accept k+1 while it reduces inertia by more than
+    ``improvement_threshold`` of the *total* (k=1) inertia; stop at the
+    first k whose marginal gain is insignificant.  Normalizing by the k=1
+    inertia (rather than the current one) makes the rule converge: past the
+    elbow, each extra cluster shaves a roughly constant *fraction* of the
+    residual, which would never fall below a current-relative threshold.
+
+    Returns
+    -------
+    (k, curve):
+        The selected k and the full inertia curve for reporting.
+    """
+    if k_max < 1:
+        raise ValueError(f"k_max must be >= 1, got {k_max}")
+    data = np.asarray(data, dtype=float)
+    if data.ndim == 1:
+        data = data[:, None]
+    k_cap = min(k_max, data.shape[0])
+    curve = inertia_curve(data, range(1, k_cap + 1), seed=seed)
+    total = curve[1]
+    if total <= 0:
+        return 1, curve
+    selected = k_cap
+    for k in range(1, k_cap):
+        if (curve[k] - curve[k + 1]) / total < improvement_threshold:
+            selected = k
+            break
+    return selected, curve
+
+
+def silhouette_score(data: np.ndarray, labels: np.ndarray, sample_cap: int = 2000,
+                     seed: int = 0) -> float:
+    """Mean silhouette coefficient (subsampled for large n).
+
+    Complements the elbow rule when validating cluster quality in tests.
+    """
+    data = np.asarray(data, dtype=float)
+    labels = np.asarray(labels)
+    if data.shape[0] != labels.shape[0]:
+        raise ValueError("data and labels must align")
+    unique = np.unique(labels)
+    if unique.size < 2:
+        return 0.0
+    n = data.shape[0]
+    if n > sample_cap:
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(n, size=sample_cap, replace=False)
+        data, labels = data[idx], labels[idx]
+        unique = np.unique(labels)
+        if unique.size < 2:
+            return 0.0
+
+    scores = []
+    members = {label: data[labels == label] for label in unique}
+    for i, point in enumerate(data):
+        own = labels[i]
+        own_members = members[own]
+        if own_members.shape[0] <= 1:
+            scores.append(0.0)
+            continue
+        d_own = np.sqrt(_squared_distances(own_members, point[None, :])).ravel()
+        a = d_own.sum() / (own_members.shape[0] - 1)
+        b = np.inf
+        for label in unique:
+            if label == own:
+                continue
+            d_other = np.sqrt(_squared_distances(members[label], point[None, :])).ravel()
+            b = min(b, float(d_other.mean()))
+        denom = max(a, b)
+        scores.append(0.0 if denom == 0 else (b - a) / denom)
+    return float(np.mean(scores))

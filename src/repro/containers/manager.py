@@ -1,0 +1,262 @@
+"""The container manager (Sections IV and VI).
+
+Bridges prediction and provisioning: given per-class arrival-rate forecasts,
+it computes how many containers of each type are required so the class's
+M/G/N scheduling delay stays at its SLO, and sizes each container by
+statistical multiplexing (Eq. 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.classification.classifier import TaskClass, TaskClassifier
+from repro.containers.sizing import ContainerSpec, size_container_for_class
+from repro.queueing.mgn import required_containers
+from repro.trace.schema import PriorityGroup
+
+
+def default_delay_slos() -> dict[PriorityGroup, float]:
+    """Target mean scheduling delays (seconds) per priority group.
+
+    Production tasks expect near-immediate scheduling (Section III-B: >50%
+    scheduled immediately); gratis tasks tolerate minutes of delay.
+    """
+    return {
+        PriorityGroup.PRODUCTION: 30.0,
+        PriorityGroup.OTHER: 120.0,
+        PriorityGroup.GRATIS: 600.0,
+    }
+
+
+@dataclass(frozen=True)
+class ContainerManagerConfig:
+    """Knobs for the container manager.
+
+    Attributes
+    ----------
+    epsilon:
+        Machine-capacity violation bound for container sizing (Eq. 3).
+    delay_slos:
+        Target mean scheduling delay per priority group.
+    sizing_method:
+        "multiplexed" (default, Eq. 3 with the sqrt(G) co-location gain),
+        "gaussian" (the paper's per-task mu + Z sigma) or "hoeffding"
+        (distribution-free extension).
+    min_containers:
+        Floor on container count for a class with any forecast demand, so a
+        class never loses all capacity between bursts.
+    """
+
+    #: Eq. 3 violation bound.  The paper targets 5% for container-blind
+    #: packing; a scheduler that places tasks at their true sizes (this
+    #: simulator, and any real scheduler with accurate requests) only needs
+    #: the container reservation to cover the *mean* plus modest slack, so
+    #: the default is looser — tighten it when containers are the literal
+    #: placement unit.
+    epsilon: float = 0.4
+    delay_slos: dict[PriorityGroup, float] = field(default_factory=default_delay_slos)
+    sizing_method: str = "multiplexed"
+    min_containers: int = 1
+    #: The per-class delay target is max(group floor, factor * mean
+    #: duration): a bounded-slowdown SLO.  Demanding a 30 s wait for a task
+    #: class whose members run for half a day forces square-root staffing
+    #: (tens of idle spare containers per class) for no practical benefit;
+    #: the paper's SLO is "desired scheduling delay ... for each type of
+    #: tasks", which this realizes per class.
+    relative_slo_factor: float = 0.05
+    #: Distinct machine capacities per resource ((cpu...), (memory...)).
+    #: When set, a container whose *mean* fits below a capacity boundary is
+    #: never padded across it: crossing the boundary would exclude an
+    #: entire machine platform that the class's typical task can use,
+    #: which costs far more capacity than the padding protects.
+    capacity_ladders: tuple[tuple[float, ...], tuple[float, ...]] | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.epsilon < 1:
+            raise ValueError(f"epsilon must be in (0, 1), got {self.epsilon}")
+        if self.min_containers < 0:
+            raise ValueError(f"min_containers must be >= 0, got {self.min_containers}")
+        if self.relative_slo_factor < 0:
+            raise ValueError(
+                f"relative_slo_factor must be >= 0, got {self.relative_slo_factor}"
+            )
+        for group, slo in self.delay_slos.items():
+            if slo <= 0:
+                raise ValueError(f"delay SLO for {group.name} must be positive, got {slo}")
+
+
+@dataclass(frozen=True)
+class ContainerPlan:
+    """Output of one planning round: sized specs and per-class counts."""
+
+    specs: dict[int, ContainerSpec]
+    counts: dict[int, int]
+
+    def count(self, class_id: int) -> int:
+        return self.counts.get(class_id, 0)
+
+    def total_containers(self) -> int:
+        return sum(self.counts.values())
+
+    def total_demand(self) -> tuple[float, float]:
+        """Aggregate (cpu, memory) reserved by the plan."""
+        cpu = sum(self.specs[c].cpu * n for c, n in self.counts.items())
+        memory = sum(self.specs[c].memory * n for c, n in self.counts.items())
+        return cpu, memory
+
+    def by_group(self) -> dict[PriorityGroup, int]:
+        """Container counts aggregated per priority group (Fig. 20)."""
+        result = {group: 0 for group in PriorityGroup}
+        for class_id, count in self.counts.items():
+            result[self.specs[class_id].task_class.group] += count
+        return result
+
+
+class ContainerManager:
+    """Computes per-class container requirements from arrival forecasts."""
+
+    def __init__(
+        self,
+        classifier: TaskClassifier,
+        config: ContainerManagerConfig | None = None,
+    ) -> None:
+        self.classifier = classifier
+        self.config = config or ContainerManagerConfig()
+        self._specs: dict[int, ContainerSpec] = {
+            leaf.class_id: self._snap_to_ladders(
+                size_container_for_class(
+                    leaf,
+                    epsilon=self.config.epsilon,
+                    method=self.config.sizing_method,
+                )
+            )
+            for leaf in classifier.classes
+        }
+
+    def _snap_to_ladders(self, spec: ContainerSpec) -> ContainerSpec:
+        """Keep the sizing pad from crossing machine-capacity boundaries."""
+        ladders = self.config.capacity_ladders
+        if ladders is None:
+            return spec
+        from dataclasses import replace
+
+        def snap(mean: float, size: float, caps: tuple[float, ...]) -> float:
+            for cap in sorted(caps):
+                if mean <= cap < size:
+                    return cap
+            return size
+
+        return replace(
+            spec,
+            cpu=snap(spec.task_class.cpu_mean, spec.cpu, ladders[0]),
+            memory=snap(spec.task_class.memory_mean, spec.memory, ladders[1]),
+        )
+
+    @property
+    def specs(self) -> dict[int, ContainerSpec]:
+        """Sized container spec per task class (stable across rounds)."""
+        return dict(self._specs)
+
+    def spec(self, class_id: int) -> ContainerSpec:
+        return self._specs[class_id]
+
+    def slo_for(self, task_class: TaskClass) -> float:
+        """Scheduling-delay target for a class.
+
+        The group SLO acts as a floor; long-duration classes get a
+        proportionally relaxed target (bounded slowdown).
+        """
+        floor = self.config.delay_slos[task_class.group]
+        return max(floor, self.config.relative_slo_factor * task_class.duration_mean)
+
+    def containers_for_class(self, task_class: TaskClass, arrival_rate: float) -> int:
+        """Containers needed so the class's M/G/N delay meets its SLO (Eq. 1)."""
+        if arrival_rate < 0:
+            raise ValueError(f"arrival_rate must be >= 0, got {arrival_rate}")
+        if arrival_rate == 0:
+            return 0
+        needed = required_containers(
+            arrival_rate=arrival_rate,
+            service_rate=task_class.service_rate,
+            target_delay=self.slo_for(task_class),
+            scv=task_class.duration_scv,
+        )
+        return max(needed, self.config.min_containers)
+
+    def erlang_headroom(self, task_class: TaskClass, arrival_rate: float) -> int:
+        """Free-container slack above mean occupancy that meets the SLO.
+
+        ``N_mgn - floor(a)`` where ``N_mgn`` inverts Eq. 1 and ``a`` is the
+        offered load: the queueing-theoretic number of *spare* containers
+        needed so arrivals rarely wait.
+        """
+        if arrival_rate <= 0:
+            return 0
+        n_mgn = self.containers_for_class(task_class, arrival_rate)
+        offered = arrival_rate / task_class.service_rate
+        return max(n_mgn - math.floor(offered), 1)
+
+    def transient_demand(
+        self,
+        task_class: TaskClass,
+        arrival_rate: float,
+        occupancy: int,
+        step: int,
+        interval_seconds: float,
+    ) -> int:
+        """Containers needed at horizon step ``step`` given current occupancy.
+
+        Eq. 1-2 are steady-state; a cluster that starts empty (the paper's
+        "we mainly focus on simulating the arrival of new tasks") reaches
+        steady state only after ~1/mu seconds, which for long task classes
+        exceeds any control horizon.  We therefore project occupancy with
+        the M/G/infinity transient
+
+            E[occ(t + k*Delta)] = occ(t) e^{-mu k Delta}
+                                   + a (1 - e^{-mu k Delta})
+
+        (exponential relaxation toward the offered load ``a``) and add the
+        Erlang slack from Eq. 1.  For short classes (mu*Delta >> 1) this
+        reduces exactly to the paper's steady-state count; for long classes
+        it tracks arrivals without provisioning the full steady state up
+        front.
+        """
+        if arrival_rate < 0:
+            raise ValueError(f"arrival_rate must be >= 0, got {arrival_rate}")
+        if occupancy < 0:
+            raise ValueError(f"occupancy must be >= 0, got {occupancy}")
+        if step < 0:
+            raise ValueError(f"step must be >= 0, got {step}")
+        if interval_seconds <= 0:
+            raise ValueError(f"interval_seconds must be positive, got {interval_seconds}")
+        mu = task_class.service_rate
+        offered = arrival_rate / mu
+        # Containers must cover the *maximum* occupancy across step k, not
+        # a single instant: the start value keeps the current stock (and
+        # backlog) placeable, the end value covers arrivals landing during
+        # the interval (for long classes that is the lambda*Delta growth
+        # that would otherwise exhaust the quota).  The relaxation is
+        # monotone, so the max is attained at an endpoint.
+        decay_start = math.exp(-mu * step * interval_seconds)
+        decay_end = math.exp(-mu * (step + 1) * interval_seconds)
+        projected = max(
+            occupancy * decay_start + offered * (1.0 - decay_start),
+            occupancy * decay_end + offered * (1.0 - decay_end),
+        )
+        demand = math.ceil(projected - 1e-9) + self.erlang_headroom(task_class, arrival_rate)
+        if demand == 0 and occupancy > 0:
+            demand = occupancy
+        return max(demand, self.config.min_containers if (arrival_rate > 0 or occupancy > 0) else 0)
+
+    def plan(self, arrival_rates: dict[int, float]) -> ContainerPlan:
+        """One planning round over per-class arrival-rate forecasts.
+
+        Classes absent from ``arrival_rates`` get zero containers.
+        """
+        counts: dict[int, int] = {}
+        for class_id, rate in arrival_rates.items():
+            task_class = self._specs[class_id].task_class
+            counts[class_id] = self.containers_for_class(task_class, rate)
+        return ContainerPlan(specs=self.specs, counts=counts)

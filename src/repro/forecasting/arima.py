@@ -1,0 +1,282 @@
+"""ARIMA(p, d, q) from scratch.
+
+The model for the d-times-differenced series ``w_t`` is
+
+    w_t = c + sum_i phi_i w_{t-i} + sum_j theta_j e_{t-j} + e_t
+
+Fitting minimizes the conditional sum of squares (CSS) of the one-step
+residuals ``e_t`` with scipy's L-BFGS, seeded from an OLS autoregression.
+Forecasting iterates the recursion with future shocks set to zero and then
+inverts the differencing.  This matches the classic Box-Jenkins treatment the
+paper cites [7] closely enough for arrival-rate prediction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+
+@dataclass(frozen=True)
+class ArimaOrder:
+    """(p, d, q) hyper-parameters."""
+
+    p: int
+    d: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if self.p < 0 or self.d < 0 or self.q < 0:
+            raise ValueError(f"ARIMA order components must be >= 0, got {self}")
+        if self.p == 0 and self.q == 0 and self.d == 0:
+            raise ValueError("ARIMA(0,0,0) has no structure to fit")
+
+
+def _difference(series: np.ndarray, d: int) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Apply d rounds of first differencing; keep heads for inversion."""
+    heads: list[np.ndarray] = []
+    current = series
+    for _ in range(d):
+        heads.append(current[:1].copy())
+        current = np.diff(current)
+    return current, heads
+
+
+def _undifference(forecast: np.ndarray, tails: list[float]) -> np.ndarray:
+    """Invert differencing given the last observed value at each level.
+
+    ``tails[i]`` is the last value of the i-times-differenced series.
+    """
+    result = forecast
+    for last in reversed(tails):
+        result = last + np.cumsum(result)
+    return result
+
+
+def _css_residuals(
+    w: np.ndarray, phi: np.ndarray, theta: np.ndarray, intercept: float
+) -> np.ndarray:
+    """One-step residuals of an ARMA recursion (pre-sample terms = 0)."""
+    p, q = len(phi), len(theta)
+    n = len(w)
+    residuals = np.zeros(n)
+    for t in range(n):
+        prediction = intercept
+        for i in range(min(p, t)):
+            prediction += phi[i] * w[t - 1 - i]
+        for j in range(min(q, t)):
+            prediction += theta[j] * residuals[t - 1 - j]
+        residuals[t] = w[t] - prediction
+    return residuals
+
+
+def _ols_ar_fit(w: np.ndarray, p: int) -> tuple[np.ndarray, float]:
+    """Least-squares AR(p) fit used as the optimizer's starting point."""
+    n = len(w)
+    if p == 0 or n <= p + 1:
+        return np.zeros(p), float(w.mean()) if n else 0.0
+    rows = n - p
+    design = np.ones((rows, p + 1))
+    for i in range(p):
+        design[:, i + 1] = w[p - 1 - i : n - 1 - i]
+    target = w[p:]
+    coefficients, *_ = np.linalg.lstsq(design, target, rcond=None)
+    return coefficients[1:], float(coefficients[0])
+
+
+@dataclass(frozen=True)
+class ArimaModel:
+    """A fitted ARIMA model.
+
+    Use :func:`fit_arima` to construct; :meth:`forecast` produces point
+    forecasts on the original (undifferenced) scale.
+    """
+
+    order: ArimaOrder
+    phi: np.ndarray
+    theta: np.ndarray
+    intercept: float
+    #: The d-times-differenced training series.
+    w: np.ndarray
+    #: In-sample residuals on the differenced scale.
+    residuals: np.ndarray
+    #: Last observed value of the series at each differencing level
+    #: (level 0 = original series, ... level d-1).
+    diff_tails: tuple[float, ...]
+
+    @property
+    def sigma2(self) -> float:
+        """Residual variance estimate (conditioned past the AR burn-in)."""
+        tail = self.residuals[self.order.p :]
+        if tail.size == 0:
+            return 0.0
+        return float(np.mean(tail**2))
+
+    @property
+    def aic(self) -> float:
+        """Akaike information criterion under Gaussian CSS likelihood."""
+        n = max(self.residuals.size, 1)
+        k = self.order.p + self.order.q + 1
+        sigma2 = max(self.sigma2, 1e-12)
+        return n * float(np.log(sigma2)) + 2 * k
+
+    def forecast(self, steps: int) -> np.ndarray:
+        """Point forecast ``steps`` ahead on the original scale."""
+        return self._forecast_core(steps, self.w, self.residuals, self.diff_tails)
+
+    def forecast_from(self, series: np.ndarray | list[float], steps: int) -> np.ndarray:
+        """Forecast from *fresh* observations using the fitted parameters.
+
+        Re-runs the residual recursion over ``series`` (cheap: O(n(p+q)))
+        so a streaming predictor can forecast from the latest data without
+        refitting.  ``series`` is on the original scale.
+        """
+        series = np.asarray(series, dtype=float)
+        if series.size < self.order.d + 1:
+            raise ValueError(
+                f"need at least {self.order.d + 1} observations, got {series.size}"
+            )
+        w = series
+        tails: list[float] = []
+        for _ in range(self.order.d):
+            tails.append(float(w[-1]))
+            w = np.diff(w)
+        residuals = _css_residuals(w, self.phi, self.theta, self.intercept)
+        return self._forecast_core(steps, w, residuals, tuple(tails))
+
+    def _forecast_core(
+        self,
+        steps: int,
+        w: np.ndarray,
+        residuals: np.ndarray,
+        diff_tails: tuple[float, ...],
+    ) -> np.ndarray:
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        p, q = self.order.p, self.order.q
+        history = list(w)
+        shocks = list(residuals)
+        predictions = []
+        for _ in range(steps):
+            value = self.intercept
+            for i in range(p):
+                if len(history) > i:
+                    value += self.phi[i] * history[-1 - i]
+            for j in range(q):
+                if len(shocks) > j:
+                    value += self.theta[j] * shocks[-1 - j]
+            predictions.append(value)
+            history.append(value)
+            shocks.append(0.0)  # future shocks have zero expectation
+        forecast_w = np.asarray(predictions)
+        if self.order.d == 0:
+            return forecast_w
+        return _undifference(forecast_w, list(diff_tails))
+
+
+def fit_arima(
+    series: np.ndarray | list[float],
+    order: ArimaOrder | tuple[int, int, int] = (1, 0, 0),
+) -> ArimaModel:
+    """Fit ARIMA by conditional sum of squares.
+
+    Parameters
+    ----------
+    series:
+        Observations on the original scale (length must exceed
+        ``p + d + q + 1``).
+    order:
+        ``(p, d, q)`` or an :class:`ArimaOrder`.
+    """
+    if not isinstance(order, ArimaOrder):
+        order = ArimaOrder(*order)
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 1:
+        raise ValueError(f"series must be 1-D, got shape {series.shape}")
+    if not np.isfinite(series).all():
+        raise ValueError("series contains NaN or infinite values")
+    min_length = order.p + order.d + order.q + 2
+    if series.size < min_length:
+        raise ValueError(
+            f"need at least {min_length} observations for ARIMA{order}, "
+            f"got {series.size}"
+        )
+
+    w = series
+    tails: list[float] = []
+    for _ in range(order.d):
+        tails.append(float(w[-1]))
+        w = np.diff(w)
+    # tails[i] must be the last value of the i-times differenced series,
+    # captured before the (i+1)-th difference — the loop above does exactly
+    # that in order, so tails[0] is the original series tail.
+
+    p, q = order.p, order.q
+    phi0, intercept0 = _ols_ar_fit(w, p)
+    x0 = np.concatenate([[intercept0], phi0, np.zeros(q)])
+
+    def objective(params: np.ndarray) -> float:
+        intercept = params[0]
+        phi = params[1 : 1 + p]
+        theta = params[1 + p :]
+        with np.errstate(over="ignore", invalid="ignore"):
+            residuals = _css_residuals(w, phi, theta, intercept)
+            # *Conditional* sum of squares: the first p residuals have a
+            # truncated AR history (pre-sample terms are zero) and would
+            # otherwise dominate the fit whenever the series level is far
+            # from zero, dragging phi toward zero.
+            tail = residuals[p:]
+            sse = float(tail @ tail)
+        # Explosive (non-stationary/non-invertible) parameter regions can
+        # overflow the recursion; steer the optimizer away with a large
+        # finite penalty instead of propagating inf/NaN.
+        if not math.isfinite(sse):
+            return 1e30
+        return sse
+
+    if p + q > 0:
+        solution = optimize.minimize(objective, x0, method="L-BFGS-B")
+        params = solution.x
+    else:
+        params = x0
+    intercept = float(params[0])
+    phi = np.asarray(params[1 : 1 + p], dtype=float)
+    theta = np.asarray(params[1 + p :], dtype=float)
+    residuals = _css_residuals(w, phi, theta, intercept)
+
+    return ArimaModel(
+        order=order,
+        phi=phi,
+        theta=theta,
+        intercept=intercept,
+        w=w,
+        residuals=residuals,
+        diff_tails=tuple(tails),
+    )
+
+
+def select_order_aic(
+    series: np.ndarray | list[float],
+    p_values: tuple[int, ...] = (0, 1, 2),
+    d_values: tuple[int, ...] = (0, 1),
+    q_values: tuple[int, ...] = (0, 1),
+) -> ArimaModel:
+    """Grid-search (p, d, q) by AIC; returns the best fitted model."""
+    best: ArimaModel | None = None
+    for d in d_values:
+        for p in p_values:
+            for q in q_values:
+                if p == 0 and q == 0 and d == 0:
+                    continue
+                try:
+                    model = fit_arima(series, ArimaOrder(p, d, q))
+                except ValueError:
+                    continue
+                if best is None or model.aic < best.aic:
+                    best = model
+    if best is None:
+        raise ValueError("series too short for any candidate ARIMA order")
+    return best

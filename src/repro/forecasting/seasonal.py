@@ -1,0 +1,92 @@
+"""Seasonal arrival predictors.
+
+Data-center arrivals carry a strong diurnal cycle (Figs. 1-2, 19).  Plain
+ARIMA needs high orders to capture a 24-hour period at 5-minute control
+intervals (288 steps); these predictors exploit the period directly:
+
+- :class:`SeasonalNaivePredictor` — forecast = the value one period ago;
+- :class:`SeasonalEwmaPredictor` — multiplicative decomposition: an EWMA
+  level times an EWMA per-slot seasonal index (a streaming Holt-Winters
+  without the trend term).
+
+Both implement the standard ``update/forecast`` predictor protocol and are
+available via ``make_predictor("seasonal_naive" | "seasonal_ewma")``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.forecasting.predictors import _check_steps
+
+
+class SeasonalNaivePredictor:
+    """Forecast = observation one season ago (falls back to last value)."""
+
+    def __init__(self, period: int = 288) -> None:
+        if period < 2:
+            raise ValueError(f"period must be >= 2, got {period}")
+        self.period = period
+        self._history: deque[float] = deque(maxlen=period)
+        self._last = 0.0
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        self._history.append(value)
+        self._last = value
+
+    def forecast(self, steps: int) -> np.ndarray:
+        _check_steps(steps)
+        if len(self._history) < self.period:
+            return np.full(steps, max(self._last, 0.0))
+        season = list(self._history)
+        result = [season[(len(season) + k) % self.period] for k in range(steps)]
+        return np.maximum(np.asarray(result, dtype=float), 0.0)
+
+
+class SeasonalEwmaPredictor:
+    """Streaming multiplicative level x seasonal-index decomposition.
+
+    ``level`` tracks the deseasonalized mean with smoothing ``alpha``;
+    ``index[slot]`` tracks each within-period slot's multiplicative factor
+    with smoothing ``gamma``.  Forecast for horizon step k is
+    ``level * index[(t + k) mod period]``.
+    """
+
+    def __init__(self, period: int = 288, alpha: float = 0.3, gamma: float = 0.1) -> None:
+        if period < 2:
+            raise ValueError(f"period must be >= 2, got {period}")
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if not 0 < gamma <= 1:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.period = period
+        self.alpha = alpha
+        self.gamma = gamma
+        self._indices = np.ones(period)
+        self._level: float | None = None
+        self._slot = 0
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        slot = self._slot
+        self._slot = (self._slot + 1) % self.period
+        index = self._indices[slot]
+        if self._level is None:
+            self._level = max(value, 1e-9)
+            return
+        deseasonalized = value / max(index, 1e-9)
+        self._level = self.alpha * deseasonalized + (1 - self.alpha) * self._level
+        if self._level > 1e-9:
+            observed_index = value / self._level
+            self._indices[slot] = (
+                self.gamma * observed_index + (1 - self.gamma) * index
+            )
+
+    def forecast(self, steps: int) -> np.ndarray:
+        _check_steps(steps)
+        level = self._level if self._level is not None else 0.0
+        slots = [(self._slot + k) % self.period for k in range(steps)]
+        return np.maximum(level * self._indices[slots], 0.0)

@@ -1,0 +1,179 @@
+"""Geo-distributed capacity provisioning (extension).
+
+The paper's introduction motivates run-time electricity prices (citing
+Qureshi et al.'s "cutting the electric bill") and its related work covers
+scheduling across geo-distributed data centers (Ren et al.).  This module
+extends CBS to that setting: several data centers, each with its own fleet
+and tariff, solved as **one** CBS-RELAX instance whose machine classes
+carry per-DC price multipliers — so provisioning follows cheap energy
+automatically, subject to optional per-class placement restrictions
+(data-locality).
+
+It reuses the single-cluster machinery end to end: the combined problem is
+an ordinary :class:`~repro.provisioning.model.ProvisioningProblem`, solved
+by :class:`~repro.provisioning.relax.CbsRelaxSolver` and rounded by
+:class:`~repro.provisioning.rounding.FirstFitRounder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.containers.sizing import ContainerSpec
+from repro.energy.models import MachineModel
+from repro.energy.prices import PriceSchedule, constant_price
+from repro.provisioning.model import (
+    ContainerType,
+    MachineClass,
+    ProvisioningProblem,
+    default_utility_weight,
+    group_utility_multiplier,
+)
+
+
+@dataclass(frozen=True)
+class DataCenter:
+    """One site: a fleet plus its electricity tariff.
+
+    ``platform_offset`` namespaces the site's platform ids so the same
+    Table II models can appear in several DCs without id collisions:
+    the combined problem sees platform ``offset + model.platform_id``.
+    """
+
+    name: str
+    fleet: tuple[MachineModel, ...]
+    price: PriceSchedule = field(default_factory=constant_price)
+    platform_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.fleet:
+            raise ValueError(f"data center {self.name!r} needs a fleet")
+        if self.platform_offset < 0:
+            raise ValueError(f"platform_offset must be >= 0, got {self.platform_offset}")
+
+    def platform_ids(self) -> tuple[int, ...]:
+        return tuple(self.platform_offset + m.platform_id for m in self.fleet)
+
+
+def auto_offsets(dcs: list[DataCenter]) -> list[DataCenter]:
+    """Assign non-overlapping platform offsets (1000 per site)."""
+    from dataclasses import replace
+
+    return [replace(dc, platform_offset=1000 * i) for i, dc in enumerate(dcs)]
+
+
+def build_geo_problem(
+    dcs: list[DataCenter],
+    specs: dict[int, ContainerSpec],
+    demand: np.ndarray,
+    interval_seconds: float,
+    now: float = 0.0,
+    horizon: int | None = None,
+    reference_price: float | None = None,
+    locality: dict[int, frozenset[str]] | None = None,
+) -> ProvisioningProblem:
+    """Combine several data centers into one CBS instance.
+
+    Parameters
+    ----------
+    dcs:
+        Data centers with distinct ``platform_offset`` values (see
+        :func:`auto_offsets`).
+    demand:
+        ``(W, N)`` container demand over the horizon, columns ordered by
+        sorted class id (total across sites — the optimizer decides where).
+    reference_price:
+        The problem's scalar ``p_t`` baseline; per-DC tariffs become
+        multipliers relative to it, evaluated at ``now``.  Defaults to the
+        mean of the DC prices at ``now``.
+    locality:
+        Optional map class id -> allowed DC names (data-locality
+        constraint); absent classes may run anywhere.
+    """
+    demand = np.asarray(demand, dtype=float)
+    W = demand.shape[0] if horizon is None else horizon
+    class_ids = sorted(specs)
+    if demand.shape != (W, len(class_ids)):
+        raise ValueError(
+            f"demand must be (W={W}, N={len(class_ids)}), got {demand.shape}"
+        )
+    offsets = [dc.platform_offset for dc in dcs]
+    if len(set(offsets)) != len(offsets):
+        raise ValueError("data centers must have distinct platform offsets")
+
+    prices_now = [dc.price(now) for dc in dcs]
+    if reference_price is None:
+        reference_price = float(np.mean(prices_now))
+    if reference_price <= 0:
+        raise ValueError(f"reference_price must be positive, got {reference_price}")
+
+    machines: list[MachineClass] = []
+    dc_of_platform: dict[int, str] = {}
+    for dc, dc_price in zip(dcs, prices_now):
+        multiplier = dc_price / reference_price
+        for model in dc.fleet:
+            platform_id = dc.platform_offset + model.platform_id
+            dc_of_platform[platform_id] = dc.name
+            machines.append(
+                MachineClass(
+                    platform_id=platform_id,
+                    name=f"{dc.name}/{model.name}",
+                    capacity=(model.cpu_capacity, model.memory_capacity),
+                    available=model.count,
+                    idle_watts=model.power_model.idle_watts,
+                    alpha_watts=model.power_model.alpha_watts,
+                    switch_cost=model.switch_cost,
+                    price_multiplier=multiplier,
+                )
+            )
+
+    machine_tuple = tuple(machines)
+    peak_demand = demand.max(axis=0)
+    containers = []
+    for column, class_id in enumerate(class_ids):
+        spec = specs[class_id]
+        weight = default_utility_weight(
+            machine_tuple, spec, reference_price, interval_seconds
+        ) * group_utility_multiplier(spec)
+        allowed = None
+        if locality is not None and class_id in locality:
+            allowed_dcs = locality[class_id]
+            allowed = frozenset(
+                pid for pid, name in dc_of_platform.items() if name in allowed_dcs
+            )
+        containers.append(
+            ContainerType(
+                class_id=class_id,
+                name=spec.task_class.name,
+                size=(spec.cpu, spec.memory),
+                utility=_capped(weight, max(float(peak_demand[column]), 1.0)),
+                allowed_platforms=allowed,
+            )
+        )
+
+    return ProvisioningProblem(
+        machines=machine_tuple,
+        containers=tuple(containers),
+        demand=demand,
+        prices=np.full(W, reference_price),
+        interval_seconds=interval_seconds,
+        metadata={"dc_of_platform": dc_of_platform},
+    )
+
+
+def _capped(weight: float, demand: float):
+    from repro.provisioning.model import UtilityFunction
+
+    return UtilityFunction.capped_linear(weight, demand)
+
+
+def machines_by_dc(problem: ProvisioningProblem, z: np.ndarray) -> dict[str, float]:
+    """Aggregate a (M,) machine vector by data center name."""
+    dc_of_platform = problem.metadata.get("dc_of_platform", {})
+    result: dict[str, float] = {}
+    for m, machine in enumerate(problem.machines):
+        dc = dc_of_platform.get(machine.platform_id, "?")
+        result[dc] = result.get(dc, 0.0) + float(z[m])
+    return result

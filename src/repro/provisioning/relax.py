@@ -1,0 +1,315 @@
+"""CBS-RELAX (Eq. 14-16) as a linear program.
+
+The relaxation keeps container counts at the (machine type x container type)
+aggregate level — ``x^{mn}_t`` containers of type n on type-m machines and
+``z^m_t`` active type-m machines — which collapses the per-machine integer
+program into a small LP:
+
+    max  sum_t [ sum_n f_n(sum_m x^{mn}_t)
+                 - p_t sum_m ( z^m_t E_idle,m
+                               + sum_r sum_n alpha_mr c_nr / C_mr x^{mn}_t ) ]
+         - sum_t sum_m q_m |delta^m_t|
+
+    s.t. z^m_t <= N^m_t                                   (15)
+         sum_n omega_n c_nr x^{mn}_t <= z^m_t C_mr        (16)/(17)
+         x, z >= 0
+
+Piecewise-linear concave ``f_n`` enters through per-segment auxiliary
+variables; ``|delta|`` through a positive/negative split.  scipy's HiGHS
+solves instances of this size (W<=8, M~4-10, N~10-40) in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.provisioning.model import ProvisioningProblem
+
+
+@dataclass(frozen=True)
+class RelaxSolution:
+    """Fractional CBS-RELAX optimum.
+
+    All arrays span the full MPC horizon; Algorithm 1 only *realizes* step 0
+    and re-solves next period (receding horizon).
+    """
+
+    #: (W, M) fractional active machines per class.
+    z: np.ndarray
+    #: (W, M, N) fractional container assignment.
+    x: np.ndarray
+    #: (W, M) machines switched on / off relative to the previous step.
+    switch_up: np.ndarray
+    switch_down: np.ndarray
+    objective: float
+    utility: float
+    energy_cost: float
+    switching_cost: float
+    status: str
+
+    @property
+    def horizon(self) -> int:
+        return self.z.shape[0]
+
+    def scheduled(self, t: int = 0) -> np.ndarray:
+        """(N,) total containers of each type scheduled at horizon step t."""
+        return self.x[t].sum(axis=0)
+
+    def active_machines(self, t: int = 0) -> np.ndarray:
+        """(M,) fractional active machines at horizon step t."""
+        return self.z[t]
+
+
+class CbsRelaxSolver:
+    """Builds and solves the CBS-RELAX LP for a problem instance."""
+
+    def __init__(self, solver_method: str = "highs") -> None:
+        self.solver_method = solver_method
+
+    @staticmethod
+    def _feasible_committed(
+        problem: ProvisioningProblem,
+        committed: np.ndarray | None,
+        compatible: np.ndarray,
+    ) -> np.ndarray | None:
+        """Clip committed stocks so the forced lower bounds stay feasible.
+
+        Stocks are physically placed, but they were placed at *task* sizes
+        while the LP reasons in *container* sizes; a pathological mix could
+        demand more capacity than ``available``.  Scale each machine type's
+        stock down uniformly if its container-size footprint exceeds the
+        type's total capacity.
+        """
+        if committed is None:
+            return None
+        committed = np.maximum(np.asarray(committed, dtype=float), 0.0)
+        M, N = len(problem.machines), len(problem.containers)
+        if committed.shape != (M, N):
+            raise ValueError(f"committed must be (M={M}, N={N}), got {committed.shape}")
+        omega = problem.omega()
+        floor = committed.copy()
+        floor[~compatible] = 0.0
+        for m, machine in enumerate(problem.machines):
+            for r in range(problem.num_resources):
+                footprint = sum(
+                    omega[n] * problem.containers[n].size[r] * floor[m, n]
+                    for n in range(N)
+                )
+                budget = machine.available * machine.capacity[r]
+                if footprint > budget and footprint > 0:
+                    floor[m] *= budget / footprint
+        return floor
+
+    def solve(
+        self,
+        problem: ProvisioningProblem,
+        initial_active: np.ndarray | None = None,
+        committed: np.ndarray | None = None,
+    ) -> RelaxSolution:
+        """Solve one instance.
+
+        Parameters
+        ----------
+        initial_active:
+            ``(M,)`` machines active *before* the first horizon step (the
+            ``z^m_{t-1}`` against which switching cost at t=0 accrues).
+            Defaults to zeros (cold start).
+        committed:
+            ``(M, N)`` containers already occupied by *running* tasks on each
+            machine type.  Running tasks cannot migrate, so ``x`` at step 0
+            is lower-bounded by these stocks — otherwise the optimizer would
+            "move" sunk capacity between machine types and the resulting
+            quotas would block new placements where tasks actually run
+            (the paper handles the same issue via container reassignment;
+            we pin stocks instead of migrating).  Bounds are scaled down
+            per machine type if they would exceed available capacity.
+        """
+        W = problem.horizon
+        M = len(problem.machines)
+        N = len(problem.containers)
+        demand = np.asarray(problem.demand, dtype=float)
+        prices = np.asarray(problem.prices, dtype=float)
+        omega = problem.omega()
+        compatible = problem.compatibility()
+        if initial_active is None:
+            initial_active = np.zeros(M)
+        initial_active = np.asarray(initial_active, dtype=float)
+        if initial_active.shape != (M,):
+            raise ValueError(f"initial_active must be (M={M},), got {initial_active.shape}")
+
+        # --- variable layout -------------------------------------------------
+        # z[t,m], x[t,m,n], sp[t,m], sm[t,m], u[t,n,s] flattened in that order.
+        num_z = W * M
+        num_x = W * M * N
+        num_s = W * M  # each for sp and sm
+        segment_counts = [len(c.utility.segments) for c in problem.containers]
+        seg_offsets = np.concatenate([[0], np.cumsum(segment_counts)])
+        num_u_per_t = int(seg_offsets[-1])
+        num_u = W * num_u_per_t
+        total = num_z + num_x + 2 * num_s + num_u
+
+        def z_index(t: int, m: int) -> int:
+            return t * M + m
+
+        def x_index(t: int, m: int, n: int) -> int:
+            return num_z + (t * M + m) * N + n
+
+        def sp_index(t: int, m: int) -> int:
+            return num_z + num_x + t * M + m
+
+        def sm_index(t: int, m: int) -> int:
+            return num_z + num_x + num_s + t * M + m
+
+        def u_index(t: int, n: int, s: int) -> int:
+            return num_z + num_x + 2 * num_s + t * num_u_per_t + int(seg_offsets[n]) + s
+
+        # --- objective (linprog minimizes; negate gains) ---------------------
+        cost = np.zeros(total)
+        for t in range(W):
+            idle_cost = problem.idle_cost_per_interval(float(prices[t]))
+            run_cost = problem.container_energy_cost(float(prices[t]))
+            for m in range(M):
+                cost[z_index(t, m)] = idle_cost[m]
+                cost[sp_index(t, m)] = problem.machines[m].switch_cost
+                cost[sm_index(t, m)] = problem.machines[m].switch_cost
+                for n in range(N):
+                    cost[x_index(t, m, n)] = run_cost[m, n]
+            for n, container in enumerate(problem.containers):
+                for s, (_, slope) in enumerate(container.utility.segments):
+                    cost[u_index(t, n, s)] = -slope
+
+        # --- bounds -----------------------------------------------------------
+        lower = np.zeros(total)
+        upper = np.full(total, np.inf)
+        committed_floor = self._feasible_committed(problem, committed, compatible)
+        for t in range(W):
+            for m, machine in enumerate(problem.machines):
+                upper[z_index(t, m)] = machine.available
+                for n in range(N):
+                    if not compatible[m, n]:
+                        upper[x_index(t, m, n)] = 0.0
+                    elif t == 0 and committed_floor is not None:
+                        lower[x_index(t, m, n)] = committed_floor[m, n]
+            for n, container in enumerate(problem.containers):
+                for s, (width, _) in enumerate(container.utility.segments):
+                    # Utility saturates at forecast demand for this step.
+                    upper[u_index(t, n, s)] = min(width, float(demand[t, n]))
+
+        # --- inequality constraints -------------------------------------------
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        b_ub: list[float] = []
+        row = 0
+
+        # (16)/(17): sum_n omega_n c_nr x <= C_mr z
+        R = problem.num_resources
+        for t in range(W):
+            for m, machine in enumerate(problem.machines):
+                for r in range(R):
+                    for n, container in enumerate(problem.containers):
+                        if not compatible[m, n]:
+                            continue
+                        rows.append(row)
+                        cols.append(x_index(t, m, n))
+                        vals.append(omega[n] * container.size[r])
+                    rows.append(row)
+                    cols.append(z_index(t, m))
+                    vals.append(-machine.capacity[r])
+                    b_ub.append(0.0)
+                    row += 1
+
+        # utility linking: sum_s u[t,n,s] <= sum_m x[t,m,n]
+        for t in range(W):
+            for n in range(N):
+                for s in range(segment_counts[n]):
+                    rows.append(row)
+                    cols.append(u_index(t, n, s))
+                    vals.append(1.0)
+                for m in range(M):
+                    if compatible[m, n]:
+                        rows.append(row)
+                        cols.append(x_index(t, m, n))
+                        vals.append(-1.0)
+                b_ub.append(0.0)
+                row += 1
+
+        A_ub = sparse.coo_matrix((vals, (rows, cols)), shape=(row, total)).tocsr()
+        b_ub_arr = np.asarray(b_ub)
+
+        # --- switching equalities: z[t] - z[t-1] - sp[t] + sm[t] = 0 ----------
+        eq_rows: list[int] = []
+        eq_cols: list[int] = []
+        eq_vals: list[float] = []
+        b_eq: list[float] = []
+        eq_row = 0
+        for t in range(W):
+            for m in range(M):
+                eq_rows.append(eq_row)
+                eq_cols.append(z_index(t, m))
+                eq_vals.append(1.0)
+                if t > 0:
+                    eq_rows.append(eq_row)
+                    eq_cols.append(z_index(t - 1, m))
+                    eq_vals.append(-1.0)
+                    b_eq.append(0.0)
+                else:
+                    b_eq.append(float(initial_active[m]))
+                eq_rows.append(eq_row)
+                eq_cols.append(sp_index(t, m))
+                eq_vals.append(-1.0)
+                eq_rows.append(eq_row)
+                eq_cols.append(sm_index(t, m))
+                eq_vals.append(1.0)
+                eq_row += 1
+        A_eq = sparse.coo_matrix((eq_vals, (eq_rows, eq_cols)), shape=(eq_row, total)).tocsr()
+        b_eq_arr = np.asarray(b_eq)
+
+        result = optimize.linprog(
+            cost,
+            A_ub=A_ub,
+            b_ub=b_ub_arr,
+            A_eq=A_eq,
+            b_eq=b_eq_arr,
+            bounds=np.column_stack([lower, upper]),
+            method=self.solver_method,
+        )
+        if not result.success:
+            raise RuntimeError(f"CBS-RELAX LP failed: {result.message}")
+
+        v = result.x
+        z = np.array([[v[z_index(t, m)] for m in range(M)] for t in range(W)])
+        x = np.array(
+            [[[v[x_index(t, m, n)] for n in range(N)] for m in range(M)] for t in range(W)]
+        )
+        sp = np.array([[v[sp_index(t, m)] for m in range(M)] for t in range(W)])
+        sm = np.array([[v[sm_index(t, m)] for m in range(M)] for t in range(W)])
+
+        utility = 0.0
+        energy = 0.0
+        switching = 0.0
+        for t in range(W):
+            for n, container in enumerate(problem.containers):
+                for s, (_, slope) in enumerate(container.utility.segments):
+                    utility += slope * v[u_index(t, n, s)]
+            idle_cost = problem.idle_cost_per_interval(float(prices[t]))
+            run_cost = problem.container_energy_cost(float(prices[t]))
+            energy += float(idle_cost @ z[t]) + float((run_cost * x[t]).sum())
+            switching += sum(
+                problem.machines[m].switch_cost * (sp[t, m] + sm[t, m]) for m in range(M)
+            )
+
+        return RelaxSolution(
+            z=z,
+            x=x,
+            switch_up=sp,
+            switch_down=sm,
+            objective=-float(result.fun),
+            utility=utility,
+            energy_cost=energy,
+            switching_cost=switching,
+            status="optimal",
+        )

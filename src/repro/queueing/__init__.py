@@ -1,0 +1,20 @@
+"""M/G/N scheduling-delay model (Section VI, Eqs. 1-2)."""
+
+from repro.queueing.mgn import (
+    MGNQueue,
+    erlang_b,
+    erlang_c,
+    mgn_mean_wait,
+    required_containers,
+)
+from repro.queueing.simulate import QueueSimulationResult, simulate_mgn_queue
+
+__all__ = [
+    "MGNQueue",
+    "erlang_b",
+    "erlang_c",
+    "mgn_mean_wait",
+    "required_containers",
+    "QueueSimulationResult",
+    "simulate_mgn_queue",
+]

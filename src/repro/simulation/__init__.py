@@ -1,0 +1,50 @@
+"""Discrete-event cluster simulator and the end-to-end HARMONY loop.
+
+The paper's evaluation (Section IX) is simulation-based; this package
+provides that simulator:
+
+- :mod:`repro.simulation.engine` -- a minimal event-queue core;
+- :mod:`repro.simulation.machine` -- machine lifecycle (off / booting /
+  on / draining) with boot latency and switch accounting;
+- :mod:`repro.simulation.scheduler` -- quota-aware first-fit / best-fit task
+  schedulers with priority ordering and backfill;
+- :mod:`repro.simulation.metrics` -- scheduling-delay, energy and
+  machine-count instrumentation;
+- :mod:`repro.simulation.cluster` -- the replay loop tying trace, policy
+  and machines together;
+- :mod:`repro.simulation.harmony` -- one-call end-to-end runs of CBS / CBP /
+  baseline / static policies over a trace.
+"""
+
+from repro.simulation.engine import EventQueue, Event
+from repro.simulation.machine import Machine, MachinePool, MachineState
+from repro.simulation.scheduler import FirstFitScheduler, BestFitScheduler, QuotaLedger
+from repro.simulation.metrics import SimulationMetrics, TaskRecord
+from repro.simulation.cluster import ClusterSimulator, ClusterConfig
+from repro.simulation.harmony import (
+    HarmonyConfig,
+    HarmonySimulation,
+    SimulationResult,
+    run_policy_comparison,
+    energy_savings,
+)
+
+__all__ = [
+    "EventQueue",
+    "Event",
+    "Machine",
+    "MachinePool",
+    "MachineState",
+    "FirstFitScheduler",
+    "BestFitScheduler",
+    "QuotaLedger",
+    "SimulationMetrics",
+    "TaskRecord",
+    "ClusterSimulator",
+    "ClusterConfig",
+    "HarmonyConfig",
+    "HarmonySimulation",
+    "SimulationResult",
+    "run_policy_comparison",
+    "energy_savings",
+]

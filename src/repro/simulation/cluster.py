@@ -1,0 +1,498 @@
+"""The cluster simulator: trace replay under a provisioning policy.
+
+Event loop (Section IX's simulation methodology):
+
+- **task arrival**: classify, enqueue, try to place immediately;
+- **task finish**: release capacity, power off drained machines, backfill;
+- **machine ready**: a booted machine becomes schedulable, backfill;
+- **control tick** (every ``control_interval`` s): account energy for the
+  elapsed interval (Eq. 7 + switching, Eq. 9), report observed arrivals to
+  the policy, apply its new machine targets and quotas, then schedule.
+
+Policies plug in through the small :class:`Policy` protocol; adapters for
+CBS / CBP / baseline / static live in :mod:`repro.simulation.harmony`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.energy.accounting import EnergyMeter
+from repro.energy.models import MachineModel
+from repro.energy.prices import PriceSchedule, constant_price
+from repro.provisioning.controller import ProvisioningDecision
+from repro.simulation.engine import EventKind, EventQueue
+from repro.simulation.machine import MachinePool, MachineState
+from repro.simulation.metrics import SimulationMetrics
+from repro.simulation.scheduler import FirstFitScheduler, QuotaLedger
+from repro.trace.schema import Task
+
+
+@dataclass(frozen=True)
+class ClusterView:
+    """Snapshot handed to the policy at each control tick."""
+
+    time: float
+    #: Tasks waiting, per class id.
+    backlog: dict[int, int]
+    #: Tasks currently running, per class id (current label).
+    running: dict[int, int]
+    #: Tasks currently running, per platform id then class id.
+    running_by_platform: dict[int, dict[int, int]]
+    #: Aggregate requested (cpu, memory) of tasks in the system
+    #: (pending + running), normalized machine units.
+    demand_cpu: float
+    demand_memory: float
+    #: Machines per platform id that exist (the availability bound N_m).
+    available: dict[int, int]
+    #: Machines per platform id currently drawing power (on or booting) —
+    #: the true z_{t-1} against which switching costs accrue.
+    powered: dict[int, int]
+    #: Observed arrival counts per class id in the finished interval.
+    arrivals: dict[int, float]
+
+
+class Policy(Protocol):
+    """A provisioning policy driving the cluster."""
+
+    def decide(self, view: ClusterView) -> ProvisioningDecision:
+        """Return machine targets and (optional) container quotas."""
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Simulator knobs."""
+
+    control_interval: float = 300.0
+    price: PriceSchedule = field(default_factory=constant_price)
+    #: Cap on pending-queue entries examined per scheduling round.
+    max_schedule_attempts: int = 5000
+    #: Smaller cap for the opportunistic pass after each task finish.
+    backfill_attempts: int = 200
+    #: Failure injection: expected crashes per powered machine-hour.  Tasks
+    #: on a crashed machine restart from scratch elsewhere; the machine is
+    #: unavailable for ``repair_seconds``.
+    failure_rate_per_machine_hour: float = 0.0
+    repair_seconds: float = 3600.0
+    failure_seed: int = 0
+    #: Priority preemption (the trace's priority semantics, Section III):
+    #: a task may evict running tasks at least ``preemption_priority_gap``
+    #: priority levels below it when no machine has room.  Evicted tasks
+    #: restart from scratch (the clusterdata EVICT/resubmit cycle).
+    enable_preemption: bool = False
+    preemption_priority_gap: int = 2
+
+    def __post_init__(self) -> None:
+        if self.control_interval <= 0:
+            raise ValueError(f"control_interval must be positive, got {self.control_interval}")
+        if self.failure_rate_per_machine_hour < 0:
+            raise ValueError(
+                "failure_rate_per_machine_hour must be >= 0, got "
+                f"{self.failure_rate_per_machine_hour}"
+            )
+        if self.repair_seconds < 0:
+            raise ValueError(f"repair_seconds must be >= 0, got {self.repair_seconds}")
+        if self.preemption_priority_gap < 1:
+            raise ValueError(
+                f"preemption_priority_gap must be >= 1, got {self.preemption_priority_gap}"
+            )
+
+
+class ClusterSimulator:
+    """Replays a task stream against a machine fleet under one policy."""
+
+    def __init__(
+        self,
+        tasks: tuple[Task, ...],
+        horizon: float,
+        machine_models: tuple[MachineModel, ...],
+        policy: Policy,
+        class_of: Callable[[Task], int],
+        config: ClusterConfig | None = None,
+        relabel: Callable[[Task, float], int] | None = None,
+    ) -> None:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        self.config = config or ClusterConfig()
+        self.horizon = horizon
+        self.policy = policy
+        self.class_of = class_of
+        self.relabel = relabel
+        self.relabel_events = 0
+        self.tasks = tasks
+
+        self.pools: list[MachinePool] = []
+        offset = 0
+        for model in machine_models:
+            self.pools.append(MachinePool(model, id_offset=offset))
+            offset += model.count
+        self._pool_by_platform = {pool.platform_id: pool for pool in self.pools}
+
+        self.scheduler = FirstFitScheduler(self.pools)
+        self.ledger = QuotaLedger()
+        self.metrics = SimulationMetrics()
+        self.energy = EnergyMeter(
+            models={m.platform_id: m for m in machine_models},
+            price=self.config.price,
+        )
+
+        self._queue = EventQueue()
+        self._pending: list[Task] = []
+        self._pending_dirty = False
+        self._class_cache: dict[tuple[int, int], int] = {}
+        self._interval_arrivals: dict[int, float] = {}
+        self._last_switch_counts: dict[int, tuple[int, int]] = {
+            pool.platform_id: (0, 0) for pool in self.pools
+        }
+        self._demand_cpu = 0.0
+        self._demand_memory = 0.0
+        self._last_tick = 0.0
+        #: task uid -> machine hosting it (O(1) release on finish).
+        self._machine_of: dict[tuple[int, int], "Machine"] = {}
+        self._failure_rng = np.random.default_rng(self.config.failure_seed)
+        self.tasks_killed = 0
+        self.tasks_preempted = 0
+        #: Placement generation per task: invalidates stale finish events
+        #: after a failure-driven restart.
+        self._generation: dict[tuple[int, int], int] = {}
+
+    # ---------------------------------------------------------------- runs
+
+    def run(self) -> SimulationMetrics:
+        """Replay the full trace; returns the collected metrics."""
+        for task in self.tasks:
+            self._queue.schedule(task.submit_time, EventKind.TASK_ARRIVAL, task)
+        tick = 0.0
+        while tick < self.horizon:
+            self._queue.schedule(tick, EventKind.CONTROL_TICK, None)
+            tick += self.config.control_interval
+        # A final tick at the horizon closes the last energy interval.
+        self._queue.schedule(self.horizon, EventKind.CONTROL_TICK, None)
+
+        while self._queue:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > self.horizon:
+                break
+            event = self._queue.pop()
+            if event.kind is EventKind.TASK_ARRIVAL:
+                self._on_arrival(event.payload)
+            elif event.kind is EventKind.TASK_FINISH:
+                self._on_finish(event.payload)
+            elif event.kind is EventKind.MACHINE_READY:
+                self._on_machine_ready(event.payload)
+            elif event.kind is EventKind.CONTROL_TICK:
+                self._on_tick(self._queue.now)
+        return self.metrics
+
+    # -------------------------------------------------------------- events
+
+    def _task_class(self, task: Task) -> int:
+        cached = self._class_cache.get(task.uid)
+        if cached is None:
+            cached = self.class_of(task)
+            self._class_cache[task.uid] = cached
+        return cached
+
+    def _on_arrival(self, task: Task) -> None:
+        now = self._queue.now
+        self.metrics.task_submitted(task, now)
+        class_id = self._task_class(task)
+        self._interval_arrivals[class_id] = self._interval_arrivals.get(class_id, 0.0) + 1.0
+        self._demand_cpu += task.cpu
+        self._demand_memory += task.memory
+        machine = self.scheduler.try_place(task, class_id, self.ledger)
+        if machine is None and self.config.enable_preemption:
+            machine = self._try_preempt(task, class_id, now)
+        if machine is None:
+            self._pending.append(task)
+            self._pending_dirty = True
+        else:
+            self._machine_of[task.uid] = machine
+            self._start_task(task, class_id, machine.model.platform_id, now)
+
+    def _start_task(self, task: Task, class_id: int, platform_id: int, now: float) -> None:
+        self.metrics.task_scheduled(task, now, class_id, platform_id)
+        generation = self._generation.get(task.uid, 0) + 1
+        self._generation[task.uid] = generation
+        self._queue.schedule(
+            now + task.duration, EventKind.TASK_FINISH, (task, generation)
+        )
+
+    def _on_finish(self, payload: tuple[Task, int]) -> None:
+        task, generation = payload
+        if self._generation.get(task.uid) != generation:
+            return  # stale event: the task was killed and restarted
+        now = self._queue.now
+        machine = self._machine_of.pop(task.uid)
+        class_id = machine.release(task)
+        self.ledger.release(machine.model.platform_id, class_id)
+        self.metrics.task_finished(task, now)
+        self._demand_cpu = max(self._demand_cpu - task.cpu, 0.0)
+        self._demand_memory = max(self._demand_memory - task.memory, 0.0)
+        pool = self._pool_by_platform[machine.model.platform_id]
+        pool.maybe_power_off(machine)
+        if self._pending:
+            self._schedule_round(self.config.backfill_attempts)
+
+    def _on_machine_ready(self, machine) -> None:
+        pool = self._pool_by_platform[machine.model.platform_id]
+        pool.machine_ready(machine)
+        if self._pending:
+            self._schedule_round(self.config.backfill_attempts)
+
+    def _on_tick(self, now: float) -> None:
+        self._account_energy(now)
+        self._record_timelines(now)
+        if now >= self.horizon:
+            return
+        if self.config.failure_rate_per_machine_hour > 0:
+            self._inject_failures(now)
+        if self.relabel is not None:
+            self._relabel_running(now)
+
+        view = ClusterView(
+            time=now,
+            backlog=self._backlog_by_class(),
+            running=self._running_by_class(),
+            running_by_platform=self.ledger.snapshot(),
+            demand_cpu=self._demand_cpu,
+            demand_memory=self._demand_memory,
+            available={
+                pool.platform_id: pool.total
+                - sum(1 for m in pool.machines if m.failed_until > now)
+                for pool in self.pools
+            },
+            powered={pool.platform_id: pool.powered for pool in self.pools},
+            arrivals=dict(self._interval_arrivals),
+        )
+        self._interval_arrivals = {}
+        decision = self.policy.decide(view)
+        self._apply_decision(decision, now)
+        self._schedule_round(self.config.max_schedule_attempts)
+
+    # ------------------------------------------------------------ internals
+
+    def _try_preempt(self, task: Task, class_id: int, now: float):
+        """Priority preemption: evict enough strictly-lower-priority work.
+
+        Scans schedulable machines the task could run on for the one where
+        evicting the smallest set of tasks at least
+        ``preemption_priority_gap`` levels below frees enough room.
+        Evicted tasks restart from scratch (re-enqueued pending), matching
+        the clusterdata EVICT/resubmit semantics.  Quota admission still
+        applies to the preemptor.
+        """
+        threshold = task.priority - self.config.preemption_priority_gap
+        if threshold < 0:
+            return None
+        best_machine = None
+        best_victims: list[tuple[Task, int]] | None = None
+        for pool in self.pools:
+            model = pool.model
+            if task.cpu > model.cpu_capacity or task.memory > model.memory_capacity:
+                continue
+            if (
+                task.allowed_platforms is not None
+                and pool.platform_id not in task.allowed_platforms
+            ):
+                continue
+            if not self.ledger.admits(pool.platform_id, class_id):
+                continue
+            for machine in pool.machines:
+                if not machine.schedulable:
+                    continue
+                candidates = sorted(
+                    (
+                        (victim, vid)
+                        for victim, vid in machine.running.values()
+                        if victim.priority <= threshold
+                    ),
+                    key=lambda pair: pair[0].cpu + pair[0].memory,
+                )
+                need_cpu = task.cpu - machine.cpu_free
+                need_memory = task.memory - machine.memory_free
+                victims: list[tuple[Task, int]] = []
+                freed_cpu = freed_memory = 0.0
+                for victim, vid in candidates:
+                    if freed_cpu >= need_cpu and freed_memory >= need_memory:
+                        break
+                    victims.append((victim, vid))
+                    freed_cpu += victim.cpu
+                    freed_memory += victim.memory
+                if freed_cpu >= need_cpu and freed_memory >= need_memory:
+                    if best_victims is None or len(victims) < len(best_victims):
+                        best_machine, best_victims = machine, victims
+            if best_victims is not None and len(best_victims) <= 1:
+                break
+        if best_machine is None or best_victims is None:
+            return None
+
+        for victim, victim_class in best_victims:
+            best_machine.release(victim)
+            self.ledger.release(best_machine.model.platform_id, victim_class)
+            self._machine_of.pop(victim.uid, None)
+            self._generation[victim.uid] = self._generation.get(victim.uid, 0) + 1
+            record = self.metrics.records[victim.uid]
+            record.schedule_time = None
+            record.platform_id = None
+            self.tasks_preempted += 1
+            self._pending.append(victim)
+            self._pending_dirty = True
+        best_machine.place(task, class_id)
+        self.ledger.place(best_machine.model.platform_id, class_id)
+        return best_machine
+
+    def _inject_failures(self, now: float) -> None:
+        """Crash a Poisson-sampled set of powered machines (Section IV's
+        monitoring module reports failures; this is their source)."""
+        for pool in self.pools:
+            powered = [
+                m for m in pool.machines if m.state is not MachineState.OFF
+            ]
+            if not powered:
+                continue
+            expected = (
+                self.config.failure_rate_per_machine_hour
+                * len(powered)
+                * self.config.control_interval
+                / 3600.0
+            )
+            crashes = min(int(self._failure_rng.poisson(expected)), len(powered))
+            if crashes == 0:
+                continue
+            victims = self._failure_rng.choice(len(powered), size=crashes, replace=False)
+            for index in victims:
+                machine = powered[int(index)]
+                killed = pool.fail(machine, now, self.config.repair_seconds)
+                for task, class_id in killed:
+                    self.ledger.release(machine.model.platform_id, class_id)
+                    self._machine_of.pop(task.uid, None)
+                    # Invalidate the in-flight finish event.
+                    self._generation[task.uid] = self._generation.get(task.uid, 0) + 1
+                    record = self.metrics.records[task.uid]
+                    record.schedule_time = None
+                    record.platform_id = None
+                    self.tasks_killed += 1
+                    self._pending.append(task)
+                    self._pending_dirty = True
+
+    def _relabel_running(self, now: float) -> None:
+        """Section V's progressive relabeling: running tasks that outlive
+        their class's short/long boundary migrate to the long sub-class,
+        moving their quota stock with them."""
+        assert self.relabel is not None
+        for pool in self.pools:
+            for machine in pool.machines:
+                if not machine.running:
+                    continue
+                updates: list[tuple[tuple[int, int], Task, int, int]] = []
+                for uid, (task, class_id) in machine.running.items():
+                    record = self.metrics.records[uid]
+                    if record.schedule_time is None:
+                        continue
+                    elapsed = now - record.schedule_time
+                    new_class = self.relabel(task, elapsed)
+                    if new_class != class_id:
+                        updates.append((uid, task, class_id, new_class))
+                for uid, task, old_class, new_class in updates:
+                    machine.running[uid] = (task, new_class)
+                    self.ledger.release(machine.model.platform_id, old_class)
+                    self.ledger.place(machine.model.platform_id, new_class)
+                    self.metrics.records[uid].class_id = new_class
+                    self.relabel_events += 1
+
+    def _backlog_by_class(self) -> dict[int, int]:
+        backlog: dict[int, int] = {}
+        for task in self._pending:
+            class_id = self._task_class(task)
+            backlog[class_id] = backlog.get(class_id, 0) + 1
+        return backlog
+
+    def _running_by_class(self) -> dict[int, int]:
+        running: dict[int, int] = {}
+        for pool in self.pools:
+            for class_id, count in pool.running_count_by_class().items():
+                running[class_id] = running.get(class_id, 0) + count
+        return running
+
+    def _apply_decision(self, decision: ProvisioningDecision, now: float) -> None:
+        self.ledger.set_quotas(decision.quotas)
+        for pool in self.pools:
+            target = decision.active.get(pool.platform_id, 0)
+            started = pool.reconcile(target, now=now)
+            for machine in started:
+                self._queue.schedule(
+                    now + machine.model.boot_seconds, EventKind.MACHINE_READY, machine
+                )
+
+    def _schedule_round(self, max_attempts: int) -> None:
+        if not self._pending:
+            return
+        if self._pending_dirty:
+            # Highest priority first; FIFO within priority.
+            self._pending.sort(key=lambda t: (-t.priority, t.submit_time))
+            self._pending_dirty = False
+        now = self._queue.now
+        placements, leftover = self.scheduler.schedule(
+            self._pending, self.ledger, self._task_class, max_attempts=max_attempts
+        )
+        for placement in placements:
+            self._machine_of[placement.task.uid] = placement.machine
+            self._start_task(
+                placement.task,
+                placement.class_id,
+                placement.machine.model.platform_id,
+                now,
+            )
+        self._pending = leftover
+
+    def _account_energy(self, now: float) -> None:
+        # The interval that just ended may be shorter at the horizon edge.
+        seconds = now - self._last_tick
+        self._last_tick = now
+        if seconds <= 0:
+            return
+        for pool in self.pools:
+            cpu_util, memory_util = pool.utilization()
+            on_events, off_events = (
+                pool.stats.switch_on_events,
+                pool.stats.switch_off_events,
+            )
+            prev_on, prev_off = self._last_switch_counts[pool.platform_id]
+            switches = (on_events - prev_on) + (off_events - prev_off)
+            self._last_switch_counts[pool.platform_id] = (on_events, off_events)
+            self.energy.record_interval(
+                time=now - seconds,
+                seconds=seconds,
+                platform_id=pool.platform_id,
+                active_machines=pool.powered,
+                cpu_utilization=cpu_util,
+                memory_utilization=memory_util,
+                switches=switches,
+            )
+
+    def _record_timelines(self, now: float) -> None:
+        powered = sum(pool.powered for pool in self.pools)
+        schedulable = sum(len(pool.schedulable_machines()) for pool in self.pools)
+        self.metrics.machine_timeline.append((now, powered, schedulable))
+        self.metrics.machine_timeline_by_type.append(
+            (now, {pool.platform_id: pool.powered for pool in self.pools})
+        )
+        total_cpu = sum(pool.total * pool.model.cpu_capacity for pool in self.pools)
+        total_memory = sum(pool.total * pool.model.memory_capacity for pool in self.pools)
+        used_cpu = sum(
+            machine.cpu_used for pool in self.pools for machine in pool.machines
+        )
+        used_memory = sum(
+            machine.memory_used for pool in self.pools for machine in pool.machines
+        )
+        self.metrics.utilization_timeline.append(
+            (
+                now,
+                used_cpu / total_cpu if total_cpu else 0.0,
+                used_memory / total_memory if total_memory else 0.0,
+            )
+        )

@@ -1,0 +1,78 @@
+"""Minimal discrete-event simulation core.
+
+A binary-heap event queue with stable ordering: events at equal timestamps
+pop in (kind-priority, insertion) order so control ticks observe a
+consistent world state (finishes before arrivals before ticks).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+
+class EventKind(enum.IntEnum):
+    """Event kinds, ordered by processing priority at equal timestamps."""
+
+    TASK_FINISH = 0
+    MACHINE_READY = 1
+    TASK_ARRIVAL = 2
+    CONTROL_TICK = 3
+
+
+@dataclass(frozen=True, order=False)
+class Event:
+    """A scheduled simulation event."""
+
+    time: float
+    kind: EventKind
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be >= 0, got {self.time}")
+
+
+class EventQueue:
+    """Priority queue of events keyed by (time, kind, insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (time of the last popped event)."""
+        return self._now
+
+    def push(self, event: Event) -> None:
+        if event.time < self._now - 1e-9:
+            raise ValueError(
+                f"cannot schedule event at {event.time} before current time {self._now}"
+            )
+        heapq.heappush(self._heap, (event.time, int(event.kind), next(self._counter), event))
+
+    def schedule(self, time: float, kind: EventKind, payload: Any = None) -> None:
+        """Convenience: construct and push an event."""
+        self.push(Event(time=time, kind=kind, payload=payload))
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        time, _, _, event = heapq.heappop(self._heap)
+        self._now = time
+        return event
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next event, or None if empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

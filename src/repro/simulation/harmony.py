@@ -1,0 +1,435 @@
+"""End-to-end HARMONY runs: trace in, comparable policy results out.
+
+:class:`HarmonySimulation` wires the whole pipeline together — classifier,
+container manager, predictor-driven MPC controller (or baseline), cluster
+simulator, energy meter — exactly as Figure 8 sketches the architecture.
+:func:`run_policy_comparison` reruns the same trace under CBS, CBP and the
+heterogeneity-oblivious baseline for the Figs. 21-26 comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.classification.classifier import ClassifierConfig, TaskClassifier
+from repro.containers.manager import ContainerManager, ContainerManagerConfig
+from repro.energy.catalog import table2_fleet
+from repro.energy.models import MachineModel
+from repro.energy.prices import PriceSchedule, constant_price
+from repro.forecasting.predictors import make_predictor
+from repro.provisioning.autoscaler import ThresholdAutoscaler, ThresholdConfig
+from repro.provisioning.baseline import BaselineConfig, BaselineProvisioner
+from repro.provisioning.cbp import CbpController
+from repro.provisioning.controller import (
+    ControllerConfig,
+    HarmonyController,
+    ProvisioningDecision,
+)
+from repro.simulation.cluster import ClusterConfig, ClusterSimulator, ClusterView
+from repro.simulation.metrics import SimulationMetrics
+from repro.trace.schema import PriorityGroup, Task, Trace
+
+POLICIES = ("cbs", "cbp", "baseline", "threshold", "static")
+
+
+@dataclass(frozen=True)
+class HarmonyConfig:
+    """One-stop configuration for an end-to-end run.
+
+    Attributes
+    ----------
+    policy:
+        "cbs" (Algorithm 1), "cbp" (Section VIII-B), "baseline"
+        (Section IX-B) or "static" (all machines always on — used for the
+        Section III trace-characterization figures).
+    fleet:
+        Machine models to simulate; defaults to the Table II fleet at 1/10
+        scale.
+    control_interval / mpc_horizon / price / overprovision / predictor:
+        Controller knobs (Algorithm 1, Eq. 17, Section VI).
+    epsilon:
+        Container sizing violation bound (Eq. 3).
+    classifier_sample:
+        Max tasks used to fit the classifier (sampled deterministically).
+    """
+
+    policy: str = "cbs"
+    fleet: tuple[MachineModel, ...] = field(default_factory=lambda: table2_fleet(0.1))
+    control_interval: float = 300.0
+    mpc_horizon: int = 4
+    price: PriceSchedule = field(default_factory=constant_price)
+    #: Eq. 17's omega: headroom for first-fit bin-packing slack, so the
+    #: rounder can realize (nearly) everything the LP schedules.
+    overprovision: float = 1.05
+    predictor: str = "arima"
+    predictor_kwargs: dict = field(default_factory=dict)
+    epsilon: float = 0.4
+    classifier: ClassifierConfig = field(default_factory=ClassifierConfig)
+    manager: ContainerManagerConfig | None = None
+    classifier_sample: int = 40_000
+    baseline_utilization: float = 0.8
+    #: Enable priority preemption in the simulated scheduler (the trace's
+    #: priority semantics: production evicts gratis when room is tight).
+    enable_preemption: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {self.policy!r}")
+        if self.classifier_sample < 100:
+            raise ValueError(
+                f"classifier_sample must be >= 100, got {self.classifier_sample}"
+            )
+
+    def with_policy(self, policy: str) -> "HarmonyConfig":
+        return replace(self, policy=policy)
+
+
+class _ControllerPolicy:
+    """Adapter: HarmonyController/CbpController -> cluster Policy protocol.
+
+    ``arrival_splitter`` redistributes observed arrival counts between the
+    short and long sub-classes using the classifier's historical long
+    fractions — every task is labeled short at arrival (Section V), so raw
+    counts would starve the long classes the forecasts must provision for.
+    """
+
+    def __init__(
+        self,
+        controller: HarmonyController,
+        arrival_splitter=None,
+    ) -> None:
+        self.controller = controller
+        self.arrival_splitter = arrival_splitter
+
+    def decide(self, view: ClusterView) -> ProvisioningDecision:
+        arrivals = view.arrivals
+        if self.arrival_splitter is not None:
+            arrivals = self.arrival_splitter(arrivals)
+        self.controller.observe(arrivals)
+        return self.controller.decide(
+            view.time,
+            backlog=view.backlog,
+            available=view.available,
+            running=view.running,
+            running_by_platform=view.running_by_platform,
+            powered=view.powered,
+        )
+
+
+class _BaselinePolicy:
+    """Adapter: BaselineProvisioner -> cluster Policy protocol."""
+
+    def __init__(self, provisioner: BaselineProvisioner) -> None:
+        self.provisioner = provisioner
+
+    def decide(self, view: ClusterView) -> ProvisioningDecision:
+        return self.provisioner.decide(
+            view.time, view.demand_cpu, view.demand_memory, view.available
+        )
+
+
+class _ThresholdPolicy:
+    """Adapter: ThresholdAutoscaler -> cluster Policy protocol."""
+
+    def __init__(self, autoscaler: ThresholdAutoscaler) -> None:
+        self.autoscaler = autoscaler
+
+    def decide(self, view: ClusterView) -> ProvisioningDecision:
+        return self.autoscaler.decide(
+            view.time,
+            view.demand_cpu,
+            view.demand_memory,
+            powered=view.powered,
+            available=view.available,
+        )
+
+
+class _StaticPolicy:
+    """Every machine always on, no quotas (the paper's status quo, Fig. 3)."""
+
+    def __init__(self, fleet: tuple[MachineModel, ...]) -> None:
+        self.active = {m.platform_id: m.count for m in fleet}
+
+    def decide(self, view: ClusterView) -> ProvisioningDecision:
+        return ProvisioningDecision(time=view.time, active=dict(self.active), quotas=None)
+
+
+@dataclass
+class SimulationResult:
+    """Everything one policy run produced."""
+
+    policy: str
+    config: HarmonyConfig
+    metrics: SimulationMetrics
+    energy_kwh: float
+    energy_cost: float
+    switch_cost: float
+    switch_events: int
+    horizon: float
+    classifier: TaskClassifier
+    decisions: list[ProvisioningDecision] = field(default_factory=list)
+    tasks_killed: int = 0
+    tasks_preempted: int = 0
+    relabel_events: int = 0
+
+    @property
+    def total_cost(self) -> float:
+        return self.energy_cost + self.switch_cost
+
+    def summary(self) -> dict:
+        """Headline numbers for reports and EXPERIMENTS.md."""
+        delays = {
+            group.name.lower(): {
+                "mean_s": self.metrics.mean_delay(group, include_unscheduled_at=self.horizon),
+                "p95_s": self.metrics.delay_percentile(
+                    95, group, include_unscheduled_at=self.horizon
+                ),
+                "immediate_fraction": self.metrics.immediate_fraction(group),
+            }
+            for group in PriorityGroup
+        }
+        return {
+            "policy": self.policy,
+            "tasks_submitted": self.metrics.num_submitted,
+            "tasks_scheduled": self.metrics.num_scheduled,
+            "tasks_unscheduled": self.metrics.num_unscheduled,
+            "energy_kwh": self.energy_kwh,
+            "energy_cost": self.energy_cost,
+            "switch_cost": self.switch_cost,
+            "switch_events": self.switch_events,
+            "tasks_killed": self.tasks_killed,
+            "tasks_preempted": self.tasks_preempted,
+            "relabel_events": self.relabel_events,
+            "total_cost": self.total_cost,
+            "mean_active_machines": self.metrics.mean_active_machines(),
+            "mean_delay_s": self.metrics.mean_delay(include_unscheduled_at=self.horizon),
+            "delay_by_group": delays,
+        }
+
+
+class HarmonySimulation:
+    """Builds and runs the full pipeline for one policy over one trace."""
+
+    def __init__(
+        self,
+        config: HarmonyConfig,
+        trace: Trace,
+        classifier: TaskClassifier | None = None,
+    ) -> None:
+        self.config = config
+        self.trace = trace
+        self.classifier = classifier or self._fit_classifier()
+        manager_config = config.manager or ContainerManagerConfig(
+            epsilon=config.epsilon,
+            capacity_ladders=(
+                tuple(sorted({m.cpu_capacity for m in config.fleet})),
+                tuple(sorted({m.memory_capacity for m in config.fleet})),
+            ),
+        )
+        self.manager = ContainerManager(self.classifier, manager_config)
+        self._class_by_uid = self._precompute_classes()
+
+    def _fit_classifier(self) -> TaskClassifier:
+        tasks = list(self.trace.tasks)
+        if len(tasks) > self.config.classifier_sample:
+            rng = np.random.default_rng(self.config.seed)
+            indices = rng.choice(
+                len(tasks), size=self.config.classifier_sample, replace=False
+            )
+            tasks = [tasks[i] for i in sorted(indices)]
+        return TaskClassifier(self.config.classifier).fit(tasks)
+
+    def _precompute_classes(self) -> dict[tuple[int, int], int]:
+        tasks = list(self.trace.tasks)
+        leaves = self.classifier.classify_batch(tasks, observed_runtime=0.0)
+        # For every (short) arrival label, pre-resolve the long sibling and
+        # the split boundary so per-tick relabeling is a dict lookup.
+        self._relabel_table: dict[tuple[int, int], tuple[int, int, float]] = {}
+        for task, leaf in zip(tasks, leaves):
+            sibling = self.classifier.sibling(leaf)
+            boundary = self.classifier.split_boundary(leaf.group, leaf.static_index)
+            long_id = sibling.class_id if sibling is not None else leaf.class_id
+            self._relabel_table[task.uid] = (leaf.class_id, long_id, boundary)
+        return {task.uid: leaf.class_id for task, leaf in zip(tasks, leaves)}
+
+    def relabel_class(self, task: Task, elapsed: float) -> int:
+        """The class a running task should carry after ``elapsed`` seconds."""
+        short_id, long_id, boundary = self._relabel_table[task.uid]
+        return long_id if elapsed > boundary else short_id
+
+    def split_arrivals(self, arrivals: dict[int, float]) -> dict[int, float]:
+        """Redistribute arrival counts short->long by historical fractions."""
+        result: dict[int, float] = {}
+        for class_id, count in arrivals.items():
+            leaf = self.manager.spec(class_id).task_class
+            sibling = self.classifier.sibling(leaf)
+            if sibling is None:
+                result[class_id] = result.get(class_id, 0.0) + count
+                continue
+            fraction = self.classifier.long_fraction(leaf.group, leaf.static_index)
+            if leaf.duration_category.value == "long":
+                short_leaf, long_leaf = sibling, leaf
+            else:
+                short_leaf, long_leaf = leaf, sibling
+            result[short_leaf.class_id] = (
+                result.get(short_leaf.class_id, 0.0) + count * (1.0 - fraction)
+            )
+            result[long_leaf.class_id] = (
+                result.get(long_leaf.class_id, 0.0) + count * fraction
+            )
+        return result
+
+    def _historical_interval_counts(self) -> dict[int, float]:
+        """Mean arrivals per control interval per class (historical profile).
+
+        Derived from the trace at aggregate level — the stand-in for the
+        multi-week history a production deployment would profile — and split
+        short/long by the classifier's historical fractions.
+        """
+        totals: dict[int, float] = {}
+        for class_id in self._class_by_uid.values():
+            totals[class_id] = totals.get(class_id, 0.0) + 1.0
+        num_intervals = max(self.trace.horizon / self.config.control_interval, 1.0)
+        per_interval = {cid: n / num_intervals for cid, n in totals.items()}
+        return self.split_arrivals(per_interval)
+
+    def _honor_constraints(self) -> bool:
+        """Placement constraints only make sense when the simulated fleet
+        exposes the trace's platform ids (DESIGN.md, fidelity notes)."""
+        fleet_platforms = {m.platform_id for m in self.config.fleet}
+        trace_platforms = {
+            platform
+            for task in self.trace.tasks
+            if task.allowed_platforms is not None
+            for platform in task.allowed_platforms
+        }
+        return trace_platforms.issubset(fleet_platforms)
+
+    def _prepare_tasks(self) -> tuple[Task, ...]:
+        if self._honor_constraints():
+            return self.trace.tasks
+        return tuple(
+            task if task.allowed_platforms is None else replace_constraint(task)
+            for task in self.trace.tasks
+        )
+
+    def build_policy(self):
+        """Instantiate the configured policy (exposed for tests)."""
+        config = self.config
+        if config.policy in ("cbs", "cbp"):
+            controller_config = ControllerConfig(
+                interval_seconds=config.control_interval,
+                horizon=config.mpc_horizon,
+                price=config.price,
+                overprovision=config.overprovision,
+                predictor_factory=lambda: make_predictor(
+                    config.predictor, **config.predictor_kwargs
+                ),
+            )
+            cls = HarmonyController if config.policy == "cbs" else CbpController
+            controller = cls(config.fleet, self.manager, controller_config)
+            controller.prime(self._historical_interval_counts())
+            return _ControllerPolicy(controller, arrival_splitter=self.split_arrivals)
+        if config.policy == "baseline":
+            return _BaselinePolicy(
+                BaselineProvisioner(
+                    config.fleet,
+                    BaselineConfig(target_utilization=config.baseline_utilization),
+                )
+            )
+        if config.policy == "threshold":
+            return _ThresholdPolicy(
+                ThresholdAutoscaler(config.fleet, ThresholdConfig())
+            )
+        return _StaticPolicy(config.fleet)
+
+    def run(self) -> SimulationResult:
+        policy = self.build_policy()
+        simulator = ClusterSimulator(
+            tasks=self._prepare_tasks(),
+            horizon=self.trace.horizon,
+            machine_models=self.config.fleet,
+            policy=policy,
+            class_of=lambda task: self._class_by_uid[task.uid],
+            config=ClusterConfig(
+                control_interval=self.config.control_interval,
+                price=self.config.price,
+                enable_preemption=self.config.enable_preemption,
+            ),
+            relabel=self.relabel_class,
+        )
+        metrics = simulator.run()
+
+        decisions: list[ProvisioningDecision] = []
+        if isinstance(policy, _ThresholdPolicy):
+            decisions = policy.autoscaler.decisions
+        elif isinstance(policy, _ControllerPolicy):
+            decisions = policy.controller.decisions
+            for decision in decisions:
+                by_group: dict[PriorityGroup, int] = {g: 0 for g in PriorityGroup}
+                for class_id, demand in decision.demand.items():
+                    group = self.manager.spec(class_id).task_class.group
+                    by_group[group] += int(demand)
+                metrics.container_timeline.append((decision.time, by_group))
+        elif isinstance(policy, _BaselinePolicy):
+            decisions = policy.provisioner.decisions
+
+        return SimulationResult(
+            policy=self.config.policy,
+            config=self.config,
+            metrics=metrics,
+            energy_kwh=simulator.energy.total_kwh,
+            energy_cost=simulator.energy.total_energy_cost,
+            switch_cost=simulator.energy.total_switch_cost,
+            switch_events=simulator.energy.switch_events,
+            horizon=self.trace.horizon,
+            classifier=self.classifier,
+            decisions=decisions,
+            tasks_killed=simulator.tasks_killed,
+            tasks_preempted=simulator.tasks_preempted,
+            relabel_events=simulator.relabel_events,
+        )
+
+
+def replace_constraint(task: Task) -> Task:
+    """Drop a task's platform constraint (fleet does not expose those ids)."""
+    return replace(task, allowed_platforms=None)
+
+
+def run_policy_comparison(
+    trace: Trace,
+    config: HarmonyConfig | None = None,
+    policies: tuple[str, ...] = ("baseline", "cbp", "cbs"),
+) -> dict[str, SimulationResult]:
+    """Run several policies over the same trace with a shared classifier.
+
+    Sharing the fitted classifier keeps the comparison apples-to-apples and
+    roughly halves total runtime.
+    """
+    config = config or HarmonyConfig()
+    classifier: TaskClassifier | None = None
+    results: dict[str, SimulationResult] = {}
+    for policy in policies:
+        simulation = HarmonySimulation(
+            config.with_policy(policy), trace, classifier=classifier
+        )
+        classifier = simulation.classifier
+        results[policy] = simulation.run()
+    return results
+
+
+def energy_savings(results: dict[str, SimulationResult],
+                   against: str = "baseline") -> dict[str, float]:
+    """Relative energy-cost savings of each policy vs. a reference policy."""
+    if against not in results:
+        raise KeyError(f"reference policy {against!r} not in results")
+    reference = results[against].total_cost
+    if reference <= 0:
+        return {policy: 0.0 for policy in results}
+    return {
+        policy: 1.0 - result.total_cost / reference
+        for policy, result in results.items()
+    }

@@ -1,0 +1,156 @@
+"""Simulation instrumentation.
+
+Collects exactly the series the paper's evaluation plots: per-task
+scheduling delays grouped by priority (Figs. 4, 23-25), active-machine
+timelines (Figs. 3, 21-22), per-group container counts (Fig. 20), and — via
+the :class:`~repro.energy.accounting.EnergyMeter` owned by the cluster —
+energy totals (Fig. 26).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.schema import PriorityGroup, Task
+
+
+@dataclass
+class TaskRecord:
+    """Lifecycle of one task through the simulator."""
+
+    task: Task
+    submit_time: float
+    schedule_time: float | None = None
+    finish_time: float | None = None
+    class_id: int | None = None
+    platform_id: int | None = None
+
+    @property
+    def scheduling_delay(self) -> float | None:
+        if self.schedule_time is None:
+            return None
+        return self.schedule_time - self.submit_time
+
+    @property
+    def group(self) -> PriorityGroup:
+        return self.task.priority_group
+
+
+@dataclass
+class SimulationMetrics:
+    """Aggregated run metrics."""
+
+    records: dict[tuple[int, int], TaskRecord] = field(default_factory=dict)
+    #: (time, powered machines, schedulable machines) samples per interval.
+    machine_timeline: list[tuple[float, int, int]] = field(default_factory=list)
+    #: (time, {platform_id: powered}) samples.
+    machine_timeline_by_type: list[tuple[float, dict[int, int]]] = field(default_factory=list)
+    #: (time, {group: containers}) samples from controller decisions.
+    container_timeline: list[tuple[float, dict[PriorityGroup, int]]] = field(default_factory=list)
+    #: (time, mean cpu utilization, mean memory utilization) over powered machines.
+    utilization_timeline: list[tuple[float, float, float]] = field(default_factory=list)
+
+    # --------------------------------------------------------------- events
+
+    def task_submitted(self, task: Task, time: float) -> None:
+        self.records[task.uid] = TaskRecord(task=task, submit_time=time)
+
+    def task_scheduled(
+        self, task: Task, time: float, class_id: int, platform_id: int
+    ) -> None:
+        record = self.records[task.uid]
+        record.schedule_time = time
+        record.class_id = class_id
+        record.platform_id = platform_id
+
+    def task_finished(self, task: Task, time: float) -> None:
+        self.records[task.uid].finish_time = time
+
+    # -------------------------------------------------------------- queries
+
+    def delays_by_group(self, include_unscheduled_at: float | None = None
+                        ) -> dict[PriorityGroup, np.ndarray]:
+        """Scheduling delays per priority group.
+
+        ``include_unscheduled_at``: when set (typically the horizon), tasks
+        never scheduled contribute a censored delay of ``horizon - submit``
+        instead of being silently dropped — otherwise a starving policy
+        would look *better* on delay.
+        """
+        delays: dict[PriorityGroup, list[float]] = {g: [] for g in PriorityGroup}
+        for record in self.records.values():
+            delay = record.scheduling_delay
+            if delay is None:
+                if include_unscheduled_at is None:
+                    continue
+                delay = max(include_unscheduled_at - record.submit_time, 0.0)
+            delays[record.group].append(delay)
+        return {g: np.asarray(v) for g, v in delays.items()}
+
+    def mean_delay(self, group: PriorityGroup | None = None,
+                   include_unscheduled_at: float | None = None) -> float:
+        """Mean scheduling delay, overall or for one group."""
+        by_group = self.delays_by_group(include_unscheduled_at)
+        if group is not None:
+            values = by_group[group]
+        else:
+            values = np.concatenate([v for v in by_group.values()]) if by_group else np.array([])
+        return float(values.mean()) if values.size else 0.0
+
+    def delay_percentile(self, q: float, group: PriorityGroup | None = None,
+                         include_unscheduled_at: float | None = None) -> float:
+        by_group = self.delays_by_group(include_unscheduled_at)
+        if group is not None:
+            values = by_group[group]
+        else:
+            values = np.concatenate([v for v in by_group.values()])
+        return float(np.percentile(values, q)) if values.size else 0.0
+
+    @property
+    def num_submitted(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_scheduled(self) -> int:
+        return sum(1 for r in self.records.values() if r.schedule_time is not None)
+
+    @property
+    def num_finished(self) -> int:
+        return sum(1 for r in self.records.values() if r.finish_time is not None)
+
+    @property
+    def num_unscheduled(self) -> int:
+        return self.num_submitted - self.num_scheduled
+
+    def immediate_fraction(self, group: PriorityGroup, tolerance: float = 1.0) -> float:
+        """Fraction of a group's scheduled tasks placed within ``tolerance`` s."""
+        delays = self.delays_by_group()[group]
+        if delays.size == 0:
+            return 0.0
+        return float((delays <= tolerance).mean())
+
+    def mean_active_machines(self) -> float:
+        if not self.machine_timeline:
+            return 0.0
+        return float(np.mean([powered for _, powered, _ in self.machine_timeline]))
+
+    def machines_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, powered machines) arrays (Figs. 21-22)."""
+        if not self.machine_timeline:
+            return np.array([]), np.array([])
+        times = np.array([t for t, _, _ in self.machine_timeline])
+        powered = np.array([p for _, p, _ in self.machine_timeline])
+        return times, powered
+
+    def containers_series(self) -> tuple[np.ndarray, dict[PriorityGroup, np.ndarray]]:
+        """(times, per-group container counts) arrays (Fig. 20)."""
+        if not self.container_timeline:
+            return np.array([]), {g: np.array([]) for g in PriorityGroup}
+        times = np.array([t for t, _ in self.container_timeline])
+        by_group = {
+            g: np.array([counts.get(g, 0) for _, counts in self.container_timeline])
+            for g in PriorityGroup
+        }
+        return times, by_group

@@ -1,0 +1,76 @@
+"""Google-clusterdata-like trace substrate.
+
+The paper analyzes the public Google cluster trace (Section III).  That trace
+is a multi-gigabyte download unavailable offline, so this package provides a
+statistically calibrated synthetic equivalent (see DESIGN.md, section 2) plus
+the schema, I/O, timeline and statistics tooling the rest of HARMONY needs.
+"""
+
+from repro.trace.schema import (
+    PriorityGroup,
+    SchedulingClass,
+    Task,
+    Job,
+    MachineType,
+    Trace,
+    PRIORITY_GROUPS,
+    NUM_PRIORITIES,
+)
+from repro.trace.generator import (
+    SyntheticTraceConfig,
+    PriorityGroupProfile,
+    generate_trace,
+    google_like_machine_census,
+)
+from repro.trace.reader import save_trace, load_trace, save_tasks_csv, load_tasks_csv
+from repro.trace.workload import (
+    ArrivalSeries,
+    bin_arrivals,
+    arrival_rate_series,
+    demand_timeseries,
+    pending_running_demand,
+)
+from repro.trace.statistics import (
+    empirical_cdf,
+    duration_cdf_by_group,
+    size_scatter_by_group,
+    machine_census_table,
+    trace_summary,
+)
+from repro.trace.validation import (
+    CalibrationCheck,
+    CalibrationReport,
+    validate_trace,
+)
+
+__all__ = [
+    "PriorityGroup",
+    "SchedulingClass",
+    "Task",
+    "Job",
+    "MachineType",
+    "Trace",
+    "PRIORITY_GROUPS",
+    "NUM_PRIORITIES",
+    "SyntheticTraceConfig",
+    "PriorityGroupProfile",
+    "generate_trace",
+    "google_like_machine_census",
+    "save_trace",
+    "load_trace",
+    "save_tasks_csv",
+    "load_tasks_csv",
+    "ArrivalSeries",
+    "bin_arrivals",
+    "arrival_rate_series",
+    "demand_timeseries",
+    "pending_running_demand",
+    "empirical_cdf",
+    "duration_cdf_by_group",
+    "size_scatter_by_group",
+    "machine_census_table",
+    "trace_summary",
+    "CalibrationCheck",
+    "CalibrationReport",
+    "validate_trace",
+]

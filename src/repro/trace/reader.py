@@ -1,0 +1,155 @@
+"""Trace persistence in a clusterdata-like CSV layout.
+
+A saved trace is a directory with two files:
+
+- ``machine_types.csv`` -- one row per platform type
+  (platform_id, cpu_capacity, memory_capacity, count, name);
+- ``task_events.csv`` -- one SUBMIT row per task, mirroring the columns of
+  the public Google ``task_events`` table that the paper analyzes
+  (timestamp, job_id, task_index, priority, scheduling_class, cpu_request,
+  memory_request, duration, allowed_platforms).
+
+plus a small ``meta.csv`` holding the horizon and free-form metadata.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.trace.schema import MachineType, Task, Trace
+
+_MACHINE_FIELDS = ("platform_id", "cpu_capacity", "memory_capacity", "count", "name")
+_TASK_FIELDS = (
+    "timestamp",
+    "job_id",
+    "task_index",
+    "priority",
+    "scheduling_class",
+    "cpu_request",
+    "memory_request",
+    "duration",
+    "allowed_platforms",
+)
+
+
+def save_tasks_csv(tasks: Iterable[Task], path: str | Path) -> int:
+    """Write tasks as SUBMIT events; returns the number of rows written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_TASK_FIELDS)
+        for task in tasks:
+            allowed = (
+                "|".join(str(p) for p in sorted(task.allowed_platforms))
+                if task.allowed_platforms is not None
+                else ""
+            )
+            writer.writerow(
+                [
+                    f"{task.submit_time:.6f}",
+                    task.job_id,
+                    task.index,
+                    task.priority,
+                    task.scheduling_class,
+                    # %g keeps *relative* precision for tiny requests, where
+                    # fixed decimals would truncate (sizes span 3+ orders).
+                    f"{task.cpu:.12g}",
+                    f"{task.memory:.12g}",
+                    f"{task.duration:.6f}",
+                    allowed,
+                ]
+            )
+            count += 1
+    return count
+
+
+def load_tasks_csv(path: str | Path) -> list[Task]:
+    """Read tasks written by :func:`save_tasks_csv`."""
+    path = Path(path)
+    tasks: list[Task] = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_TASK_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(f"task csv {path} missing columns: {sorted(missing)}")
+        for row in reader:
+            allowed_raw = row["allowed_platforms"].strip()
+            allowed = (
+                frozenset(int(p) for p in allowed_raw.split("|")) if allowed_raw else None
+            )
+            tasks.append(
+                Task(
+                    job_id=int(row["job_id"]),
+                    index=int(row["task_index"]),
+                    submit_time=float(row["timestamp"]),
+                    duration=float(row["duration"]),
+                    priority=int(row["priority"]),
+                    scheduling_class=int(row["scheduling_class"]),
+                    cpu=float(row["cpu_request"]),
+                    memory=float(row["memory_request"]),
+                    allowed_platforms=allowed,
+                )
+            )
+    return tasks
+
+
+def save_trace(trace: Trace, directory: str | Path) -> Path:
+    """Persist a trace to ``directory`` (created if needed); returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    with (directory / "machine_types.csv").open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_MACHINE_FIELDS)
+        for machine in trace.machine_types:
+            writer.writerow(
+                [
+                    machine.platform_id,
+                    f"{machine.cpu_capacity:.9f}",
+                    f"{machine.memory_capacity:.9f}",
+                    machine.count,
+                    machine.name,
+                ]
+            )
+
+    save_tasks_csv(trace.tasks, directory / "task_events.csv")
+
+    with (directory / "meta.csv").open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["horizon", "metadata_json"])
+        writer.writerow([f"{trace.horizon:.6f}", json.dumps(trace.metadata, default=str)])
+
+    return directory
+
+
+def load_trace(directory: str | Path) -> Trace:
+    """Load a trace saved with :func:`save_trace`."""
+    directory = Path(directory)
+
+    machine_types: list[MachineType] = []
+    with (directory / "machine_types.csv").open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            machine_types.append(
+                MachineType(
+                    platform_id=int(row["platform_id"]),
+                    cpu_capacity=float(row["cpu_capacity"]),
+                    memory_capacity=float(row["memory_capacity"]),
+                    count=int(row["count"]),
+                    name=row["name"],
+                )
+            )
+
+    tasks = load_tasks_csv(directory / "task_events.csv")
+
+    with (directory / "meta.csv").open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        meta_row = next(reader)
+    horizon = float(meta_row["horizon"])
+    metadata = json.loads(meta_row["metadata_json"])
+
+    return Trace.from_tasks(machine_types, tasks, horizon=horizon, metadata=metadata)

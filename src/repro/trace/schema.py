@@ -1,0 +1,324 @@
+"""Core trace schema: tasks, jobs, machine types and whole traces.
+
+Mirrors the publicly documented Google clusterdata-2011 format that the paper
+analyzes in Section III:
+
+- a *job* is an application consisting of one or more *tasks*;
+- each task carries a normalized CPU and memory request in ``[0, 1]``
+  (normalized to the largest machine), a priority in ``0..11`` and a
+  scheduling class in ``0..3``;
+- priorities are grouped into *gratis* (0-1), *other* (2-8) and
+  *production* (9-11);
+- machines are characterized by normalized CPU/memory capacity and a
+  platform id identifying the micro-architecture.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Sequence
+
+NUM_PRIORITIES = 12
+"""The Google trace defines priorities 0..11."""
+
+
+class PriorityGroup(enum.IntEnum):
+    """Coarse-grained priority groups used throughout the paper.
+
+    The paper (Section III, following Reiss et al.) partitions the 12 task
+    priorities into three groups and analyzes workload at group granularity.
+    """
+
+    GRATIS = 0
+    OTHER = 1
+    PRODUCTION = 2
+
+    @classmethod
+    def from_priority(cls, priority: int) -> "PriorityGroup":
+        """Map a raw priority (0..11) to its group.
+
+        >>> PriorityGroup.from_priority(0)
+        <PriorityGroup.GRATIS: 0>
+        >>> PriorityGroup.from_priority(9)
+        <PriorityGroup.PRODUCTION: 2>
+        """
+        if not 0 <= priority < NUM_PRIORITIES:
+            raise ValueError(f"priority must be in 0..{NUM_PRIORITIES - 1}, got {priority}")
+        if priority <= 1:
+            return cls.GRATIS
+        if priority <= 8:
+            return cls.OTHER
+        return cls.PRODUCTION
+
+    @property
+    def priorities(self) -> range:
+        """The raw priorities belonging to this group."""
+        return {
+            PriorityGroup.GRATIS: range(0, 2),
+            PriorityGroup.OTHER: range(2, 9),
+            PriorityGroup.PRODUCTION: range(9, 12),
+        }[self]
+
+    @property
+    def label(self) -> str:
+        """Human-readable label matching the paper's figures."""
+        return {
+            PriorityGroup.GRATIS: "gratis (0-1)",
+            PriorityGroup.OTHER: "other (2-8)",
+            PriorityGroup.PRODUCTION: "production (9-11)",
+        }[self]
+
+
+PRIORITY_GROUPS: tuple[PriorityGroup, ...] = (
+    PriorityGroup.GRATIS,
+    PriorityGroup.OTHER,
+    PriorityGroup.PRODUCTION,
+)
+
+
+class SchedulingClass(enum.IntEnum):
+    """Latency-sensitivity class (0 = batch, 3 = most latency-sensitive)."""
+
+    BATCH = 0
+    STANDARD = 1
+    SENSITIVE = 2
+    INTERACTIVE = 3
+
+
+@dataclass(frozen=True, slots=True)
+class Task:
+    """A single schedulable unit of work.
+
+    Attributes
+    ----------
+    job_id:
+        Identifier of the owning job.
+    index:
+        Index of this task within its job.
+    submit_time:
+        Arrival time in seconds since trace start.
+    duration:
+        Execution time in seconds once scheduled.
+    priority:
+        Raw priority, 0 (lowest) .. 11 (highest).
+    scheduling_class:
+        Latency-sensitivity class, 0..3.
+    cpu:
+        Normalized CPU request in ``(0, 1]`` (1.0 = largest machine).
+    memory:
+        Normalized memory request in ``(0, 1]``.
+    allowed_platforms:
+        Optional placement constraint: the set of machine platform ids this
+        task may run on.  ``None`` means unconstrained.
+    """
+
+    job_id: int
+    index: int
+    submit_time: float
+    duration: float
+    priority: int
+    scheduling_class: int
+    cpu: float
+    memory: float
+    allowed_platforms: frozenset[int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.submit_time < 0:
+            raise ValueError(f"submit_time must be >= 0, got {self.submit_time}")
+        if self.duration <= 0 or not math.isfinite(self.duration):
+            raise ValueError(f"duration must be positive and finite, got {self.duration}")
+        if not 0 <= self.priority < NUM_PRIORITIES:
+            raise ValueError(f"priority must be in 0..11, got {self.priority}")
+        if not 0 <= self.scheduling_class <= 3:
+            raise ValueError(f"scheduling_class must be in 0..3, got {self.scheduling_class}")
+        if not 0 < self.cpu <= 1:
+            raise ValueError(f"cpu request must be in (0, 1], got {self.cpu}")
+        if not 0 < self.memory <= 1:
+            raise ValueError(f"memory request must be in (0, 1], got {self.memory}")
+
+    @property
+    def priority_group(self) -> PriorityGroup:
+        """The coarse priority group this task belongs to."""
+        return PriorityGroup.from_priority(self.priority)
+
+    @property
+    def uid(self) -> tuple[int, int]:
+        """Globally unique (job_id, index) pair."""
+        return (self.job_id, self.index)
+
+    @property
+    def demand(self) -> tuple[float, float]:
+        """(cpu, memory) request vector."""
+        return (self.cpu, self.memory)
+
+    def fits_on(self, machine: "MachineType") -> bool:
+        """Whether this task can ever be placed on the given machine type."""
+        if self.allowed_platforms is not None and machine.platform_id not in self.allowed_platforms:
+            return False
+        return self.cpu <= machine.cpu_capacity and self.memory <= machine.memory_capacity
+
+    def with_submit_time(self, submit_time: float) -> "Task":
+        """Copy of this task arriving at a different time."""
+        return replace(self, submit_time=submit_time)
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """An application: a named group of tasks sharing a job id."""
+
+    job_id: int
+    tasks: tuple[Task, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("a job must contain at least one task")
+        for task in self.tasks:
+            if task.job_id != self.job_id:
+                raise ValueError(
+                    f"task {task.uid} does not belong to job {self.job_id}"
+                )
+
+    @property
+    def submit_time(self) -> float:
+        """Arrival time of the earliest task."""
+        return min(task.submit_time for task in self.tasks)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+
+@dataclass(frozen=True, slots=True)
+class MachineType:
+    """A homogeneous class of physical machines.
+
+    Capacities are normalized so the largest machine in the census has
+    capacity 1.0, matching the Google trace convention (Section III-C).
+    """
+
+    platform_id: int
+    cpu_capacity: float
+    memory_capacity: float
+    count: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0 < self.cpu_capacity <= 1:
+            raise ValueError(f"cpu_capacity must be in (0, 1], got {self.cpu_capacity}")
+        if not 0 < self.memory_capacity <= 1:
+            raise ValueError(
+                f"memory_capacity must be in (0, 1], got {self.memory_capacity}"
+            )
+        if self.count < 0:
+            raise ValueError(f"count must be >= 0, got {self.count}")
+
+    @property
+    def capacity(self) -> tuple[float, float]:
+        """(cpu, memory) capacity vector."""
+        return (self.cpu_capacity, self.memory_capacity)
+
+    def can_host(self, task: Task) -> bool:
+        """Whether a single instance can host the task (alias of Task.fits_on)."""
+        return task.fits_on(self)
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable workload trace: a machine census plus a task stream.
+
+    Tasks are stored sorted by submit time; the constructor enforces this so
+    downstream consumers (simulator, arrival binning) can rely on it.
+    """
+
+    machine_types: tuple[MachineType, ...]
+    tasks: tuple[Task, ...]
+    horizon: float
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
+        if not self.machine_types:
+            raise ValueError("trace must define at least one machine type")
+        platform_ids = [m.platform_id for m in self.machine_types]
+        if len(set(platform_ids)) != len(platform_ids):
+            raise ValueError("machine platform ids must be unique")
+        for prev, cur in zip(self.tasks, self.tasks[1:]):
+            if cur.submit_time < prev.submit_time:
+                raise ValueError("tasks must be sorted by submit_time")
+        for task in self.tasks:
+            if task.submit_time > self.horizon:
+                raise ValueError(
+                    f"task {task.uid} arrives at {task.submit_time} after "
+                    f"horizon {self.horizon}"
+                )
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def num_machines(self) -> int:
+        return sum(m.count for m in self.machine_types)
+
+    @property
+    def num_jobs(self) -> int:
+        return len({task.job_id for task in self.tasks})
+
+    def machine_type_by_platform(self, platform_id: int) -> MachineType:
+        """Look up a machine type by its platform id."""
+        for machine_type in self.machine_types:
+            if machine_type.platform_id == platform_id:
+                return machine_type
+        raise KeyError(f"no machine type with platform_id={platform_id}")
+
+    def tasks_in_group(self, group: PriorityGroup) -> tuple[Task, ...]:
+        """All tasks whose priority falls in the given group."""
+        return tuple(t for t in self.tasks if t.priority_group is group)
+
+    def jobs(self) -> Iterator[Job]:
+        """Group the task stream into jobs (in order of first arrival)."""
+        by_job: dict[int, list[Task]] = {}
+        for task in self.tasks:
+            by_job.setdefault(task.job_id, []).append(task)
+        for job_id, tasks in by_job.items():
+            yield Job(job_id=job_id, tasks=tuple(tasks))
+
+    def window(self, start: float, end: float) -> "Trace":
+        """A sub-trace containing tasks arriving in ``[start, end)``.
+
+        Submit times are re-based so the window starts at zero.
+        """
+        if not 0 <= start < end <= self.horizon:
+            raise ValueError(f"invalid window [{start}, {end}) for horizon {self.horizon}")
+        selected = tuple(
+            task.with_submit_time(task.submit_time - start)
+            for task in self.tasks
+            if start <= task.submit_time < end
+        )
+        return Trace(
+            machine_types=self.machine_types,
+            tasks=selected,
+            horizon=end - start,
+            metadata=dict(self.metadata, window=(start, end)),
+        )
+
+    @staticmethod
+    def from_tasks(
+        machine_types: Sequence[MachineType],
+        tasks: Iterable[Task],
+        horizon: float | None = None,
+        metadata: dict | None = None,
+    ) -> "Trace":
+        """Build a trace from an unsorted task iterable, inferring horizon."""
+        ordered = tuple(sorted(tasks, key=lambda t: (t.submit_time, t.job_id, t.index)))
+        if horizon is None:
+            horizon = ordered[-1].submit_time + 1.0 if ordered else 1.0
+        return Trace(
+            machine_types=tuple(machine_types),
+            tasks=ordered,
+            horizon=horizon,
+            metadata=metadata or {},
+        )

@@ -1,0 +1,77 @@
+"""Shared fixtures: small deterministic traces and fitted classifiers.
+
+Everything here is session-scoped and seeded — test runs are reproducible
+and the expensive objects (trace, classifier) are built once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classification import ClassifierConfig, TaskClassifier
+from repro.containers import ContainerManager
+from repro.energy import table2_fleet
+from repro.trace import SyntheticTraceConfig, Task, generate_trace
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A 2-hour, ~200-machine trace: fast but statistically non-trivial."""
+    return generate_trace(
+        SyntheticTraceConfig(
+            horizon_hours=2.0, seed=42, total_machines=200, load_factor=0.5
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_trace():
+    """A 30-minute trace for tests that replay the simulator repeatedly."""
+    return generate_trace(
+        SyntheticTraceConfig(
+            horizon_hours=0.5, seed=11, total_machines=120, load_factor=0.4
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def classifier(small_trace):
+    """Classifier fitted on the small trace."""
+    return TaskClassifier(ClassifierConfig(seed=0)).fit(list(small_trace.tasks))
+
+
+@pytest.fixture(scope="session")
+def manager(classifier):
+    """Container manager over the session classifier."""
+    return ContainerManager(classifier)
+
+
+@pytest.fixture(scope="session")
+def fleet():
+    """The default 1/10-scale Table II fleet."""
+    return table2_fleet(scale=0.1)
+
+
+def make_task(
+    job_id: int = 1,
+    index: int = 0,
+    submit_time: float = 0.0,
+    duration: float = 100.0,
+    priority: int = 0,
+    scheduling_class: int = 0,
+    cpu: float = 0.1,
+    memory: float = 0.1,
+    allowed_platforms=None,
+) -> Task:
+    """Terse Task factory for unit tests."""
+    return Task(
+        job_id=job_id,
+        index=index,
+        submit_time=submit_time,
+        duration=duration,
+        priority=priority,
+        scheduling_class=scheduling_class,
+        cpu=cpu,
+        memory=memory,
+        allowed_platforms=allowed_platforms,
+    )

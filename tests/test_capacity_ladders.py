@@ -1,0 +1,46 @@
+"""Tests for capacity-ladder snapping of container sizes."""
+
+import pytest
+
+from repro.containers import ContainerManager, ContainerManagerConfig
+
+
+LADDERS = ((4 / 48, 0.25, 0.5, 1.0), (4 / 64, 0.25, 0.5, 1.0))
+
+
+class TestLadderSnapping:
+    def test_pad_never_crosses_boundary(self, classifier):
+        manager = ContainerManager(
+            classifier,
+            ContainerManagerConfig(capacity_ladders=LADDERS),
+        )
+        for spec in manager.specs.values():
+            leaf = spec.task_class
+            for mean, size, caps in (
+                (leaf.cpu_mean, spec.cpu, LADDERS[0]),
+                (leaf.memory_mean, spec.memory, LADDERS[1]),
+            ):
+                for cap in caps:
+                    # If the mean fits below a boundary, the sized container
+                    # must not be pushed above it.
+                    if mean <= cap:
+                        assert size <= cap + 1e-12
+                        break
+
+    def test_sizes_never_below_mean(self, classifier):
+        manager = ContainerManager(
+            classifier, ContainerManagerConfig(capacity_ladders=LADDERS)
+        )
+        for spec in manager.specs.values():
+            assert spec.cpu >= spec.task_class.cpu_mean - 1e-12
+            assert spec.memory >= spec.task_class.memory_mean - 1e-12
+
+    def test_no_ladders_no_snapping(self, classifier):
+        plain = ContainerManager(classifier, ContainerManagerConfig())
+        snapped = ContainerManager(
+            classifier, ContainerManagerConfig(capacity_ladders=LADDERS)
+        )
+        # Snapping can only shrink sizes.
+        for class_id in plain.specs:
+            assert snapped.spec(class_id).cpu <= plain.spec(class_id).cpu + 1e-12
+            assert snapped.spec(class_id).memory <= plain.spec(class_id).memory + 1e-12

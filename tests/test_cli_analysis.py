@@ -1,0 +1,127 @@
+"""Tests for the CLI and the analysis/report helpers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_series,
+    ascii_table,
+    fig_arrival_rates,
+    fig_classification,
+    fig_demand_series,
+    fig_duration_cdf,
+    fig_energy_curves,
+    fig_machine_census,
+    fig_task_sizes,
+    format_cdf_rows,
+)
+from repro.cli import main
+from repro.energy import TABLE2_MODELS
+from repro.trace import save_trace
+
+
+class TestCli:
+    def test_generate_and_analyze(self, tiny_trace, tmp_path, capsys):
+        out = tmp_path / "trace"
+        assert main(["generate", "--hours", "0.1", "--machines", "60",
+                     "--seed", "1", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "saved" in captured
+        assert main(["analyze", "--trace", str(out)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["num_machines"] == 60
+
+    def test_classify_command(self, tiny_trace, tmp_path, capsys):
+        out = tmp_path / "trace"
+        save_trace(tiny_trace, out)
+        assert main(["classify", "--trace", str(out)]) == 0
+        table = capsys.readouterr().out
+        assert "class" in table and "gratis" in table
+
+    def test_simulate_command(self, tiny_trace, tmp_path, capsys):
+        out = tmp_path / "trace"
+        save_trace(tiny_trace, out)
+        assert main(["simulate", "--trace", str(out), "--policy", "baseline"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["policy"] == "baseline"
+        assert summary["tasks_submitted"] == tiny_trace.num_tasks
+
+    def test_validate_command(self, small_trace, tmp_path, capsys):
+        out = tmp_path / "trace"
+        save_trace(small_trace, out)
+        rc = main(["validate", "--trace", str(out)])
+        output = capsys.readouterr().out
+        assert "Calibration" in output
+        assert rc == 0
+
+    def test_figures_trace_only(self, tiny_trace, tmp_path, capsys):
+        out = tmp_path / "trace"
+        save_trace(tiny_trace, out)
+        figures_dir = tmp_path / "figs"
+        rc = main(["figures", "--trace", str(out), "--trace-only", str(figures_dir)])
+        assert rc == 0
+        svgs = list(figures_dir.glob("*.svg"))
+        assert len(svgs) == 5
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestReportHelpers:
+    def test_ascii_table_alignment(self):
+        table = ascii_table(["a", "bb"], [[1, 2.5], ["xxx", 0.001]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_ascii_series_renders(self):
+        times = np.arange(100.0)
+        values = np.sin(times / 10.0)
+        art = ascii_series(times, values, width=40, height=6, label="wave")
+        assert "wave" in art
+        assert "#" in art
+
+    def test_ascii_series_empty(self):
+        assert "(empty series)" in ascii_series(np.array([]), np.array([]), label="x")
+
+    def test_format_cdf_rows(self):
+        rows = format_cdf_rows(np.array([1.0, 2.0, 3.0, 4.0]), [2.5, 10.0])
+        assert rows[0] == ("<= 2.5s", 0.5)
+        assert rows[1] == ("<= 10s", 1.0)
+
+
+class TestFigureHelpers:
+    def test_fig_demand_series(self, tiny_trace):
+        fig1, fig2 = fig_demand_series(tiny_trace)
+        assert "cpu_demand" in fig1.series
+        assert "memory_demand" in fig2.series
+
+    def test_fig_machine_census(self, tiny_trace):
+        fig = fig_machine_census(tiny_trace)
+        assert len(fig.rows) == len(tiny_trace.machine_types)
+
+    def test_fig_duration_cdf(self, tiny_trace):
+        fig = fig_duration_cdf(tiny_trace)
+        assert set(fig.series) == {"gratis", "other", "production"}
+
+    def test_fig_task_sizes(self, tiny_trace):
+        fig = fig_task_sizes(tiny_trace)
+        assert {row["group"] for row in fig.rows} == {"gratis", "other", "production"}
+
+    def test_fig_energy_curves(self):
+        fig = fig_energy_curves(TABLE2_MODELS, points=5)
+        assert len(fig.series) == 4
+        for utilization, watts in fig.series.values():
+            assert watts[0] < watts[-1]  # power grows with utilization
+
+    def test_fig_classification(self, classifier):
+        fig = fig_classification(classifier)
+        assert len(fig.rows) == classifier.num_classes
+
+    def test_fig_arrival_rates(self, tiny_trace):
+        fig = fig_arrival_rates(tiny_trace)
+        assert set(fig.series) == {"gratis", "other", "production"}

@@ -1,0 +1,112 @@
+"""End-to-end energy accounting validation (Eq. 7 + Eq. 9).
+
+Runs tiny, fully hand-checkable scenarios through the cluster simulator
+and compares the metered kWh/cost against closed-form expectations.
+"""
+
+import pytest
+
+from repro.energy import table2_fleet
+from repro.provisioning import ProvisioningDecision
+from repro.simulation import ClusterConfig, ClusterSimulator
+from tests.conftest import make_task
+
+
+class FixedPolicy:
+    """Powers a fixed number of machines of one platform."""
+
+    def __init__(self, platform_id: int, count: int):
+        self.platform_id = platform_id
+        self.count = count
+
+    def decide(self, view):
+        return ProvisioningDecision(
+            time=view.time, active={self.platform_id: self.count}, quotas=None
+        )
+
+
+def run(tasks, policy, horizon=3600.0, interval=600.0):
+    fleet = table2_fleet(0.01)  # 70 R210, 15 R515, 10 DL385, 5 DL585
+    simulator = ClusterSimulator(
+        tasks=tuple(tasks),
+        horizon=horizon,
+        machine_models=fleet,
+        policy=policy,
+        class_of=lambda t: 0,
+        config=ClusterConfig(control_interval=interval),
+    )
+    simulator.run()
+    return simulator, fleet
+
+
+class TestIdleEnergy:
+    def test_idle_machines_draw_idle_watts(self):
+        # 2 DL385s on for the whole hour at zero utilization.
+        dl385 = table2_fleet(0.01)[2]
+        simulator, _ = run([], FixedPolicy(dl385.platform_id, 2))
+        # First interval: machines booting (still drawing idle); then on.
+        expected_kwh = 2 * dl385.idle_watts / 1000.0  # 1 hour
+        assert simulator.energy.total_kwh == pytest.approx(expected_kwh, rel=0.02)
+
+    def test_energy_cost_at_price(self):
+        dl385 = table2_fleet(0.01)[2]
+        simulator, _ = run([], FixedPolicy(dl385.platform_id, 1))
+        assert simulator.energy.total_energy_cost == pytest.approx(
+            simulator.energy.total_kwh * 0.10, rel=1e-9
+        )
+
+    def test_switch_cost_counted_once_per_boot(self):
+        dl385 = table2_fleet(0.01)[2]
+        simulator, _ = run([], FixedPolicy(dl385.platform_id, 3))
+        assert simulator.energy.switch_events == 3
+        assert simulator.energy.total_switch_cost == pytest.approx(
+            3 * dl385.switch_cost
+        )
+
+
+class TestDynamicEnergy:
+    def test_busy_machine_draws_more(self):
+        dl585 = table2_fleet(0.01)[3]
+        task = make_task(
+            job_id=1, submit_time=0.0, duration=100_000.0, cpu=1.0, memory=1.0,
+            allowed_platforms=frozenset({dl585.platform_id}),
+        )
+        idle_sim, _ = run([], FixedPolicy(dl585.platform_id, 1))
+        busy_sim, _ = run([task], FixedPolicy(dl585.platform_id, 1))
+        # Full utilization for ~all the hour vs idle.
+        assert busy_sim.energy.total_kwh > idle_sim.energy.total_kwh * 1.5
+        # Upper bound: peak draw for the full hour.
+        assert busy_sim.energy.total_kwh <= dl585.peak_watts / 1000.0 * 1.01
+
+    def test_utilization_recorded_in_records(self):
+        dl585 = table2_fleet(0.01)[3]
+        task = make_task(
+            job_id=1, submit_time=0.0, duration=100_000.0, cpu=0.5, memory=0.25,
+            allowed_platforms=frozenset({dl585.platform_id}),
+        )
+        simulator, _ = run([task], FixedPolicy(dl585.platform_id, 1))
+        steady = [
+            r for r in simulator.energy.records
+            if r.platform_id == dl585.platform_id and r.cpu_utilization > 0
+        ]
+        assert steady
+        assert steady[-1].cpu_utilization == pytest.approx(0.5, abs=0.01)
+        assert steady[-1].memory_utilization == pytest.approx(0.25, abs=0.01)
+
+
+class TestScaleDownEnergy:
+    def test_machines_power_off_and_stop_drawing(self):
+        dl385 = table2_fleet(0.01)[2]
+
+        class UpThenDown:
+            def decide(self, view):
+                count = 4 if view.time < 1200.0 else 0
+                return ProvisioningDecision(
+                    time=view.time, active={dl385.platform_id: count}, quotas=None
+                )
+
+        simulator, _ = run([], UpThenDown())
+        # On for the first ~2 intervals (1200 s) only.
+        expected_kwh = 4 * dl385.idle_watts / 1000.0 * (1200.0 / 3600.0)
+        assert simulator.energy.total_kwh == pytest.approx(expected_kwh, rel=0.05)
+        assert simulator.energy.switch_events == 8  # 4 on + 4 off

@@ -1,0 +1,117 @@
+"""Tests for the geo-distributed provisioning extension."""
+
+import numpy as np
+import pytest
+
+from repro.energy import constant_price, table2_fleet
+from repro.provisioning import (
+    CbsRelaxSolver,
+    DataCenter,
+    auto_offsets,
+    build_geo_problem,
+    machines_by_dc,
+)
+
+
+@pytest.fixture(scope="module")
+def two_dcs():
+    fleet = table2_fleet(0.02)
+    return auto_offsets(
+        [
+            DataCenter(name="cheap", fleet=fleet, price=constant_price(0.05)),
+            DataCenter(name="pricey", fleet=fleet, price=constant_price(0.20)),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def geo_problem(two_dcs, manager):
+    class_ids = sorted(manager.specs)
+    demand = np.full((1, len(class_ids)), 2.0)
+    return build_geo_problem(
+        two_dcs, manager.specs, demand, interval_seconds=300.0
+    )
+
+
+class TestDataCenter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataCenter(name="x", fleet=())
+        with pytest.raises(ValueError):
+            DataCenter(name="x", fleet=table2_fleet(0.02), platform_offset=-1)
+
+    def test_auto_offsets_distinct(self, two_dcs):
+        ids_a = set(two_dcs[0].platform_ids())
+        ids_b = set(two_dcs[1].platform_ids())
+        assert not (ids_a & ids_b)
+
+
+class TestBuildGeoProblem:
+    def test_machine_classes_from_both_sites(self, geo_problem, two_dcs):
+        assert len(geo_problem.machines) == len(two_dcs[0].fleet) * 2
+        names = {m.name.split("/")[0] for m in geo_problem.machines}
+        assert names == {"cheap", "pricey"}
+
+    def test_price_multipliers_reflect_tariffs(self, geo_problem):
+        multipliers = {
+            m.name.split("/")[0]: m.price_multiplier for m in geo_problem.machines
+        }
+        # Reference price = mean(0.05, 0.20) = 0.125.
+        assert multipliers["cheap"] == pytest.approx(0.05 / 0.125)
+        assert multipliers["pricey"] == pytest.approx(0.20 / 0.125)
+
+    def test_duplicate_offsets_rejected(self, manager):
+        fleet = table2_fleet(0.02)
+        dcs = [
+            DataCenter(name="a", fleet=fleet),
+            DataCenter(name="b", fleet=fleet),
+        ]
+        class_ids = sorted(manager.specs)
+        with pytest.raises(ValueError, match="distinct platform offsets"):
+            build_geo_problem(dcs, manager.specs, np.ones((1, len(class_ids))), 300.0)
+
+    def test_demand_shape_validated(self, two_dcs, manager):
+        with pytest.raises(ValueError):
+            build_geo_problem(two_dcs, manager.specs, np.ones((1, 2)), 300.0)
+
+
+class TestGeoOptimization:
+    def test_load_follows_cheap_energy(self, geo_problem):
+        solution = CbsRelaxSolver().solve(geo_problem)
+        by_dc = machines_by_dc(geo_problem, solution.z[0])
+        assert by_dc.get("cheap", 0.0) > 0
+        # The pricey site hosts (essentially) nothing while the cheap one
+        # has capacity to spare.
+        assert by_dc.get("pricey", 0.0) <= 0.05 * by_dc["cheap"] + 1e-6
+
+    def test_locality_pins_class_to_site(self, two_dcs, manager):
+        class_ids = sorted(manager.specs)
+        pinned = class_ids[0]
+        demand = np.zeros((1, len(class_ids)))
+        demand[0, 0] = 5.0
+        problem = build_geo_problem(
+            two_dcs,
+            manager.specs,
+            demand,
+            interval_seconds=300.0,
+            locality={pinned: frozenset({"pricey"})},
+        )
+        solution = CbsRelaxSolver().solve(problem)
+        by_dc = machines_by_dc(problem, solution.z[0])
+        # Despite the tariff, the pinned demand lands on the pricey site.
+        assert by_dc.get("pricey", 0.0) > 0
+
+    def test_spillover_when_cheap_site_full(self, manager):
+        tiny_fleet = table2_fleet(0.002)  # 14+3+2+1 machines
+        dcs = auto_offsets(
+            [
+                DataCenter(name="cheap", fleet=tiny_fleet, price=constant_price(0.05)),
+                DataCenter(name="pricey", fleet=tiny_fleet, price=constant_price(0.20)),
+            ]
+        )
+        class_ids = sorted(manager.specs)
+        demand = np.full((1, len(class_ids)), 10.0)
+        problem = build_geo_problem(dcs, manager.specs, demand, 300.0)
+        solution = CbsRelaxSolver().solve(problem)
+        by_dc = machines_by_dc(problem, solution.z[0])
+        assert by_dc.get("pricey", 0.0) > 0  # overflow crosses sites

@@ -1,0 +1,125 @@
+"""Tests for the container reassignment (migration) planner."""
+
+import numpy as np
+import pytest
+
+from repro.provisioning import MigrationPlan, consolidation_savings, plan_consolidation
+from repro.provisioning.rounding import MachineAssignment
+
+
+def machine(machine_id, containers, sizes, capacity=(1.0, 1.0)):
+    m = MachineAssignment(
+        platform_id=1, capacity=capacity, used=np.zeros(len(capacity)),
+        containers={}, machine_id=machine_id,
+    )
+    for index, count in containers.items():
+        m.add(index, sizes[index], count)
+    return m
+
+
+SIZES = {0: (0.2, 0.2), 1: (0.5, 0.4)}
+
+
+class TestPlanConsolidation:
+    def test_consolidates_two_half_empty_machines(self):
+        machines = [
+            machine(0, {0: 2}, SIZES),  # 0.4 used
+            machine(1, {0: 1}, SIZES),  # 0.2 used
+        ]
+        plan = plan_consolidation(machines, SIZES, target_active=1)
+        assert plan.released_machines == [1]
+        assert plan.num_moves == 1
+        move = plan.moves[0]
+        assert move.source == 1 and move.destination == 0
+
+    def test_keeps_machine_that_cannot_empty(self):
+        machines = [
+            machine(0, {1: 1}, SIZES),   # 0.5/0.4 used
+            machine(1, {1: 1}, SIZES),   # cannot move: 0.5+0.5 == 1.0 fits!
+        ]
+        plan = plan_consolidation(machines, SIZES, target_active=1)
+        # Two 0.5-cpu containers fit one machine exactly.
+        assert plan.released_machines == [1] or plan.released_machines == [0]
+
+    def test_infeasible_move_retains_machine(self):
+        big = {2: (0.8, 0.8)}
+        machines = [
+            machine(0, {2: 1}, big),
+            machine(1, {2: 1}, big),
+        ]
+        plan = plan_consolidation(machines, big, target_active=1)
+        assert plan.released_machines == []
+        assert sorted(plan.retained_machines) == [0, 1]
+        assert plan.moves == []
+
+    def test_target_at_or_above_count_is_noop(self):
+        machines = [machine(0, {0: 1}, SIZES)]
+        plan = plan_consolidation(machines, SIZES, target_active=1)
+        assert plan.moves == []
+        assert plan.released_machines == []
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            plan_consolidation([], SIZES, target_active=-1)
+
+    def test_moves_respect_capacity(self):
+        rng = np.random.default_rng(3)
+        sizes = {i: (float(rng.uniform(0.05, 0.3)), float(rng.uniform(0.05, 0.3)))
+                 for i in range(4)}
+        machines = []
+        for mid in range(8):
+            counts = {i: int(rng.integers(0, 3)) for i in range(4)}
+            counts = {i: c for i, c in counts.items() if c}
+            machines.append(machine(mid, counts, sizes))
+        plan = plan_consolidation(machines, sizes, target_active=4)
+        # Apply the plan and verify no receiver overflows.
+        by_id = {m.machine_id: m for m in machines}
+        for move in plan.moves:
+            src, dst = by_id[move.source], by_id[move.destination]
+            size = np.asarray(sizes[move.container_index])
+            dst.used = dst.used + size * move.count
+            src.used = src.used - size * move.count
+        for m in machines:
+            if m.machine_id in plan.released_machines:
+                continue
+            assert (m.used <= np.asarray(m.capacity) + 1e-9).all()
+
+    def test_released_machines_fully_emptied(self):
+        machines = [
+            machine(0, {0: 1}, SIZES),
+            machine(1, {0: 2}, SIZES),
+            machine(2, {0: 1}, SIZES),
+        ]
+        plan = plan_consolidation(machines, SIZES, target_active=1)
+        moved_out = {}
+        for move in plan.moves:
+            moved_out[move.source] = moved_out.get(move.source, 0) + move.count
+        for released in plan.released_machines:
+            original = next(m for m in machines if m.machine_id == released)
+            assert moved_out.get(released, 0) == sum(original.containers.values())
+
+
+class TestConsolidationSavings:
+    def test_positive_net_for_cheap_migration(self):
+        machines = [machine(0, {0: 2}, SIZES), machine(1, {0: 1}, SIZES)]
+        plan, net = consolidation_savings(
+            machines, SIZES, target_active=1,
+            idle_watts=200.0, horizon_seconds=3600.0,
+            price_per_kwh=0.1, migration_cost=0.0001,
+        )
+        assert len(plan.released_machines) == 1
+        assert net > 0
+
+    def test_negative_net_for_expensive_migration(self):
+        machines = [machine(0, {0: 2}, SIZES), machine(1, {0: 1}, SIZES)]
+        _, net = consolidation_savings(
+            machines, SIZES, target_active=1,
+            idle_watts=200.0, horizon_seconds=60.0,
+            price_per_kwh=0.1, migration_cost=10.0,
+        )
+        assert net < 0
+
+    def test_cost_validation(self):
+        plan = MigrationPlan()
+        with pytest.raises(ValueError):
+            plan.cost(-1.0)

@@ -1,0 +1,94 @@
+"""Property-based tests on the trace layer (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace import MachineType, Trace, bin_arrivals, demand_timeseries
+from repro.trace.reader import load_tasks_csv, save_tasks_csv
+from tests.conftest import make_task
+
+sizes = st.floats(min_value=1e-4, max_value=1.0, allow_nan=False)
+times = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+durations = st.floats(min_value=1.0, max_value=1e6, allow_nan=False)
+
+
+@st.composite
+def task_lists(draw, max_size=25):
+    n = draw(st.integers(min_value=1, max_value=max_size))
+    tasks = []
+    for i in range(n):
+        tasks.append(
+            make_task(
+                job_id=i + 1,
+                index=0,
+                submit_time=draw(times),
+                duration=draw(durations),
+                priority=draw(st.integers(0, 11)),
+                scheduling_class=draw(st.integers(0, 3)),
+                cpu=draw(sizes),
+                memory=draw(sizes),
+            )
+        )
+    return tasks
+
+
+MACHINES = (MachineType(platform_id=1, cpu_capacity=1.0, memory_capacity=1.0, count=4),)
+
+
+@settings(max_examples=30, deadline=None)
+@given(tasks=task_lists())
+def test_from_tasks_invariants(tasks):
+    trace = Trace.from_tasks(MACHINES, tasks)
+    assert trace.num_tasks == len(tasks)
+    submit_times = [t.submit_time for t in trace.tasks]
+    assert submit_times == sorted(submit_times)
+    assert trace.horizon >= max(submit_times)
+
+
+@settings(max_examples=30, deadline=None)
+@given(tasks=task_lists())
+def test_window_partition(tasks):
+    """Tasks split across two windows exactly partition the trace."""
+    trace = Trace.from_tasks(MACHINES, tasks)
+    mid = trace.horizon / 2
+    first = trace.window(0.0, mid) if mid > 0 else None
+    second = trace.window(mid, trace.horizon) if mid < trace.horizon else None
+    count = 0
+    if first is not None:
+        count += first.num_tasks
+    if second is not None:
+        count += second.num_tasks
+    # Tasks exactly at the horizon edge belong to the second window.
+    assert count == trace.num_tasks
+
+
+@settings(max_examples=20, deadline=None)
+@given(tasks=task_lists())
+def test_csv_round_trip_property(tasks, tmp_path_factory):
+    path = tmp_path_factory.mktemp("prop") / "tasks.csv"
+    save_tasks_csv(tasks, path)
+    loaded = load_tasks_csv(path)
+    assert len(loaded) == len(tasks)
+    for a, b in zip(sorted(loaded, key=lambda t: t.uid), sorted(tasks, key=lambda t: t.uid)):
+        assert a.cpu == pytest.approx(b.cpu, rel=1e-6)
+        assert a.submit_time == pytest.approx(b.submit_time, abs=1e-5)
+        assert a.priority == b.priority
+
+
+@settings(max_examples=30, deadline=None)
+@given(tasks=task_lists(), bin_seconds=st.floats(min_value=10.0, max_value=5000.0))
+def test_arrival_binning_conserves_mass(tasks, bin_seconds):
+    trace = Trace.from_tasks(MACHINES, tasks)
+    series = bin_arrivals(trace.tasks, trace.horizon, bin_seconds)
+    assert series.total().sum() == trace.num_tasks
+
+
+@settings(max_examples=20, deadline=None)
+@given(tasks=task_lists())
+def test_demand_series_non_negative_and_bounded(tasks):
+    trace = Trace.from_tasks(MACHINES, tasks)
+    _, cpu, mem = demand_timeseries(trace, 300.0)
+    assert (cpu >= -1e-9).all() and (mem >= -1e-9).all()
+    assert cpu.max() <= sum(t.cpu for t in tasks) + 1e-9
+    assert mem.max() <= sum(t.memory for t in tasks) + 1e-9

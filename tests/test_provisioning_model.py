@@ -1,0 +1,197 @@
+"""Tests for the CBS problem model (utilities, machine/container classes)."""
+
+import numpy as np
+import pytest
+
+from repro.energy import table2_fleet
+from repro.provisioning import (
+    ContainerType,
+    MachineClass,
+    ProvisioningProblem,
+    UtilityFunction,
+    build_problem,
+)
+from repro.provisioning.model import default_utility_weight, group_utility_multiplier
+
+
+class TestUtilityFunction:
+    def test_capped_linear(self):
+        f = UtilityFunction.capped_linear(weight=2.0, demand=10.0)
+        assert f(0) == 0.0
+        assert f(5) == 10.0
+        assert f(10) == 20.0
+        assert f(15) == 20.0  # saturates
+        assert f.saturation == 10.0
+
+    def test_multi_segment_concave(self):
+        f = UtilityFunction(segments=((5.0, 3.0), (5.0, 1.0)))
+        assert f(5) == 15.0
+        assert f(10) == 20.0
+        assert f(100) == 20.0
+
+    def test_increasing_slopes_rejected(self):
+        with pytest.raises(ValueError, match="non-increasing"):
+            UtilityFunction(segments=((5.0, 1.0), (5.0, 3.0)))
+
+    def test_bad_segments(self):
+        with pytest.raises(ValueError):
+            UtilityFunction(segments=())
+        with pytest.raises(ValueError):
+            UtilityFunction(segments=((0.0, 1.0),))
+        with pytest.raises(ValueError):
+            UtilityFunction(segments=((5.0, -1.0),))
+        with pytest.raises(ValueError):
+            UtilityFunction.capped_linear(1.0, 0.0)
+
+    def test_negative_argument(self):
+        f = UtilityFunction.capped_linear(1.0, 1.0)
+        with pytest.raises(ValueError):
+            f(-1)
+
+    def test_concavity_property(self):
+        f = UtilityFunction(segments=((3.0, 5.0), (4.0, 2.0), (10.0, 0.5)))
+        xs = np.linspace(0, 20, 41)
+        values = [f(x) for x in xs]
+        diffs = np.diff(values)
+        assert all(a >= b - 1e-9 for a, b in zip(diffs, diffs[1:]))
+
+
+class TestMachineClass:
+    def test_from_machine_model(self, fleet):
+        mc = MachineClass.from_machine_model(fleet[0])
+        assert mc.platform_id == fleet[0].platform_id
+        assert mc.available == fleet[0].count
+        assert mc.capacity == (fleet[0].cpu_capacity, fleet[0].memory_capacity)
+
+    def test_available_override(self, fleet):
+        mc = MachineClass.from_machine_model(fleet[0], available=3)
+        assert mc.available == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineClass(1, "m", (0.5,), 1, 10.0, (1.0, 2.0), 0.0)  # dim mismatch
+        with pytest.raises(ValueError):
+            MachineClass(1, "m", (0.0, 0.5), 1, 10.0, (1.0, 1.0), 0.0)
+        with pytest.raises(ValueError):
+            MachineClass(1, "m", (0.5, 0.5), -1, 10.0, (1.0, 1.0), 0.0)
+
+
+class TestContainerType:
+    def test_fits_capacity_and_platform(self):
+        machine = MachineClass(2, "m", (0.5, 0.5), 10, 100.0, (50.0, 10.0), 0.01)
+        small = ContainerType(0, "c", (0.1, 0.1), UtilityFunction.capped_linear(1, 1))
+        big = ContainerType(1, "c", (0.6, 0.1), UtilityFunction.capped_linear(1, 1))
+        pinned = ContainerType(
+            2, "c", (0.1, 0.1), UtilityFunction.capped_linear(1, 1),
+            allowed_platforms=frozenset({9}),
+        )
+        assert small.fits(machine)
+        assert not big.fits(machine)
+        assert not pinned.fits(machine)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            ContainerType(0, "c", (0.0, 0.1), UtilityFunction.capped_linear(1, 1))
+
+
+class TestProvisioningProblem:
+    def _problem(self, fleet, W=2):
+        machines = tuple(MachineClass.from_machine_model(m) for m in fleet)
+        containers = (
+            ContainerType(0, "a", (0.05, 0.05), UtilityFunction.capped_linear(1.0, 10)),
+            ContainerType(1, "b", (0.3, 0.2), UtilityFunction.capped_linear(2.0, 5)),
+        )
+        return ProvisioningProblem(
+            machines=machines,
+            containers=containers,
+            demand=np.ones((W, 2)) * 4,
+            prices=np.full(W, 0.1),
+            interval_seconds=300.0,
+        )
+
+    def test_shapes(self, fleet):
+        problem = self._problem(fleet)
+        assert problem.horizon == 2
+        assert problem.num_resources == 2
+        assert problem.compatibility().shape == (len(fleet), 2)
+
+    def test_compatibility_small_fits_everything(self, fleet):
+        problem = self._problem(fleet)
+        compat = problem.compatibility()
+        assert compat[:, 0].all()  # the tiny container fits every model
+        # The 0.3-cpu container cannot fit the R210 (cpu 4/48).
+        assert not compat[0, 1]
+
+    def test_energy_cost_terms(self, fleet):
+        problem = self._problem(fleet)
+        idle = problem.idle_cost_per_interval(price=0.1)
+        assert idle.shape == (len(fleet),)
+        # R210 (58 W idle) for 300 s at $0.1/kWh.
+        assert idle[0] == pytest.approx(58.0 / 1000 * (300 / 3600) * 0.1, rel=1e-9)
+        run = problem.container_energy_cost(price=0.1)
+        assert run.shape == (len(fleet), 2)
+        assert (run >= 0).all()
+        # Bigger container costs more to run on the same machine.
+        assert run[3, 1] > run[3, 0]
+
+    def test_validation(self, fleet):
+        machines = tuple(MachineClass.from_machine_model(m) for m in fleet)
+        container = ContainerType(0, "a", (0.05, 0.05), UtilityFunction.capped_linear(1, 1))
+        with pytest.raises(ValueError):
+            ProvisioningProblem(machines, (container,), np.ones((2, 3)), np.full(2, 0.1), 300.0)
+        with pytest.raises(ValueError):
+            ProvisioningProblem(machines, (container,), -np.ones((2, 1)), np.full(2, 0.1), 300.0)
+        with pytest.raises(ValueError):
+            ProvisioningProblem(machines, (container,), np.ones((2, 1)), np.full(3, 0.1), 300.0)
+        with pytest.raises(ValueError):
+            ProvisioningProblem(machines, (container,), np.ones((2, 1)), np.full(2, 0.1), 0.0)
+        with pytest.raises(ValueError):
+            ProvisioningProblem(
+                machines, (container,), np.ones((2, 1)), np.full(2, 0.1), 300.0,
+                overprovision=np.array([0.5]),
+            )
+
+    def test_omega_default_ones(self, fleet):
+        problem = self._problem(fleet)
+        assert np.allclose(problem.omega(), 1.0)
+
+
+class TestBuildProblem:
+    def test_build_from_manager_specs(self, fleet, manager):
+        class_ids = sorted(manager.specs)
+        demand = np.ones((3, len(class_ids)))
+        problem = build_problem(
+            fleet, manager.specs, demand, prices=np.full(3, 0.1), interval_seconds=300.0
+        )
+        assert len(problem.containers) == len(class_ids)
+        assert problem.horizon == 3
+        # Containers are ordered by sorted class id.
+        assert [c.class_id for c in problem.containers] == class_ids
+
+    def test_demand_shape_mismatch(self, fleet, manager):
+        with pytest.raises(ValueError):
+            build_problem(
+                fleet, manager.specs, np.ones((2, 1)), np.full(2, 0.1), 300.0
+            )
+
+    def test_default_weight_dominates_energy(self, fleet, manager):
+        """Scheduling must beat idling whenever demand is real (margin > 1)."""
+        machines = tuple(MachineClass.from_machine_model(m) for m in fleet)
+        for spec in list(manager.specs.values())[:10]:
+            weight = default_utility_weight(machines, spec, price=0.1, interval_seconds=300.0)
+            costs = []
+            for machine in machines:
+                if all(s <= c for s, c in zip(spec.demand, machine.capacity)):
+                    fill = max(s / c for s, c in zip(spec.demand, machine.capacity))
+                    watts = machine.idle_watts * fill + sum(
+                        a * s / c
+                        for a, s, c in zip(machine.alpha_watts, spec.demand, machine.capacity)
+                    )
+                    costs.append(watts / 1000 * (300 / 3600) * 0.1)
+            assert weight > max(costs)
+
+    def test_group_multiplier_ordering(self, manager):
+        by_group = {}
+        for spec in manager.specs.values():
+            by_group[spec.task_class.group.name] = group_utility_multiplier(spec)
+        assert by_group["PRODUCTION"] > by_group["OTHER"] > by_group["GRATIS"]

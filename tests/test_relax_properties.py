@@ -1,0 +1,143 @@
+"""Property-based tests on the CBS-RELAX optimizer.
+
+Hypothesis generates random problem instances; the LP optimum must always
+satisfy the model's invariants regardless of the draw.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.provisioning import (
+    CbsRelaxSolver,
+    ContainerType,
+    FirstFitRounder,
+    MachineClass,
+    ProvisioningProblem,
+    UtilityFunction,
+)
+
+
+@st.composite
+def problems(draw):
+    rng = np.random.default_rng(draw(st.integers(0, 10_000)))
+    num_machines = draw(st.integers(1, 3))
+    num_containers = draw(st.integers(1, 4))
+    W = draw(st.integers(1, 3))
+    machines = tuple(
+        MachineClass(
+            platform_id=m + 1,
+            name=f"m{m}",
+            capacity=(float(rng.uniform(0.2, 1.0)), float(rng.uniform(0.2, 1.0))),
+            available=int(rng.integers(1, 20)),
+            idle_watts=float(rng.uniform(50, 300)),
+            alpha_watts=(float(rng.uniform(10, 200)), float(rng.uniform(5, 60))),
+            switch_cost=float(rng.uniform(0.0, 0.2)),
+        )
+        for m in range(num_machines)
+    )
+    containers = tuple(
+        ContainerType(
+            class_id=n,
+            name=f"c{n}",
+            size=(float(rng.uniform(0.02, 0.8)), float(rng.uniform(0.02, 0.8))),
+            utility=UtilityFunction.capped_linear(
+                float(rng.uniform(0.001, 0.2)), float(rng.uniform(1, 200))
+            ),
+        )
+        for n in range(num_containers)
+    )
+    demand = rng.uniform(0, 30, size=(W, num_containers))
+    prices = rng.uniform(0.01, 0.5, size=W)
+    return ProvisioningProblem(
+        machines=machines,
+        containers=containers,
+        demand=demand,
+        prices=prices,
+        interval_seconds=300.0,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=problems())
+def test_lp_invariants(problem):
+    solution = CbsRelaxSolver().solve(problem)
+    W = problem.horizon
+    M = len(problem.machines)
+    N = len(problem.containers)
+    compat = problem.compatibility()
+
+    for t in range(W):
+        for m, machine in enumerate(problem.machines):
+            # availability (15)
+            assert solution.z[t, m] <= machine.available + 1e-6
+            assert solution.z[t, m] >= -1e-9
+            # capacity (16)
+            for r in range(problem.num_resources):
+                used = sum(
+                    problem.containers[n].size[r] * solution.x[t, m, n]
+                    for n in range(N)
+                )
+                assert used <= machine.capacity[r] * solution.z[t, m] + 1e-5
+            # compatibility
+            for n in range(N):
+                if not compat[m, n]:
+                    assert solution.x[t, m, n] <= 1e-9
+        # scheduled never exceeds saturation by construction of utility caps
+        for n, container in enumerate(problem.containers):
+            assert solution.x[t, :, n].sum() >= -1e-9
+
+    # switching consistency: z[t] - z[t-1] == up - down
+    previous = np.zeros(M)
+    for t in range(W):
+        delta = solution.z[t] - previous
+        assert np.allclose(
+            delta, solution.switch_up[t] - solution.switch_down[t], atol=1e-5
+        )
+        previous = solution.z[t]
+
+    # objective decomposition
+    assert solution.objective == pytest.approx(
+        solution.utility - solution.energy_cost - solution.switching_cost, abs=1e-4
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(problem=problems())
+def test_rounding_invariants(problem):
+    solution = CbsRelaxSolver().solve(problem)
+    plan = FirstFitRounder().round(problem, solution)
+    for m, machine in enumerate(problem.machines):
+        assert plan.active[m] <= machine.available
+        for assignment in plan.assignments[m]:
+            assert (assignment.used <= np.asarray(machine.capacity) + 1e-9).all()
+    # packed + dropped == integer targets (conservation)
+    assert (plan.packed.sum(axis=0) + plan.dropped >= 0).all()
+
+
+@settings(max_examples=10, deadline=None)
+@given(problem=problems(), seed=st.integers(0, 100))
+def test_more_utility_never_hurts_scheduling(problem, seed):
+    """Scaling every utility up schedules at least as many containers."""
+    solver = CbsRelaxSolver()
+    base = solver.solve(problem)
+    boosted = ProvisioningProblem(
+        machines=problem.machines,
+        containers=tuple(
+            ContainerType(
+                c.class_id,
+                c.name,
+                c.size,
+                UtilityFunction(
+                    segments=tuple((w, s * 10.0) for w, s in c.utility.segments)
+                ),
+                c.allowed_platforms,
+            )
+            for c in problem.containers
+        ),
+        demand=problem.demand,
+        prices=problem.prices,
+        interval_seconds=problem.interval_seconds,
+    )
+    more = solver.solve(boosted)
+    assert more.scheduled(0).sum() >= base.scheduled(0).sum() - 1e-5

@@ -1,0 +1,312 @@
+"""Tests for the CBS-RELAX LP and the Lemma 1 first-fit rounding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.provisioning import (
+    CbsRelaxSolver,
+    ContainerType,
+    FirstFitRounder,
+    MachineClass,
+    ProvisioningProblem,
+    UtilityFunction,
+    first_fit_pack,
+)
+from repro.provisioning.rounding import _largest_remainder_targets
+
+
+def simple_problem(
+    demand=None,
+    W=1,
+    available=(10, 10),
+    price=0.1,
+    switch_cost=0.0,
+    omega=None,
+):
+    """Two machine classes (big efficient, small cheap), two containers."""
+    machines = (
+        MachineClass(1, "small", (0.25, 0.25), available[0], 60.0, (40.0, 10.0), switch_cost),
+        MachineClass(2, "big", (1.0, 1.0), available[1], 200.0, (150.0, 40.0), switch_cost),
+    )
+    containers = (
+        ContainerType(0, "tiny", (0.05, 0.05), UtilityFunction.capped_linear(0.01, 1000)),
+        ContainerType(1, "large", (0.5, 0.4), UtilityFunction.capped_linear(0.1, 1000)),
+    )
+    if demand is None:
+        demand = np.array([[20.0, 4.0]] * W)
+    return ProvisioningProblem(
+        machines=machines,
+        containers=containers,
+        demand=np.asarray(demand, dtype=float),
+        prices=np.full(W, price),
+        interval_seconds=300.0,
+        overprovision=omega,
+    )
+
+
+class TestRelaxSolver:
+    def test_satisfies_demand_when_profitable(self):
+        problem = simple_problem()
+        solution = CbsRelaxSolver().solve(problem)
+        scheduled = solution.scheduled(0)
+        assert scheduled[0] == pytest.approx(20.0, abs=1e-6)
+        assert scheduled[1] == pytest.approx(4.0, abs=1e-6)
+
+    def test_capacity_constraint_respected(self):
+        problem = simple_problem()
+        solution = CbsRelaxSolver().solve(problem)
+        for m, machine in enumerate(problem.machines):
+            for r in range(2):
+                used = sum(
+                    problem.containers[n].size[r] * solution.x[0, m, n]
+                    for n in range(2)
+                )
+                assert used <= machine.capacity[r] * solution.z[0, m] + 1e-6
+
+    def test_availability_respected(self):
+        problem = simple_problem(demand=[[1000.0, 100.0]], available=(2, 2))
+        solution = CbsRelaxSolver().solve(problem)
+        assert solution.z[0, 0] <= 2 + 1e-9
+        assert solution.z[0, 1] <= 2 + 1e-9
+
+    def test_large_container_only_on_big_machine(self):
+        problem = simple_problem()
+        solution = CbsRelaxSolver().solve(problem)
+        assert solution.x[0, 0, 1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_energy_cost_trades_off_utility(self):
+        """With utility below energy cost, nothing is scheduled."""
+        machines = (MachineClass(1, "m", (1.0, 1.0), 10, 500.0, (100.0, 0.0), 0.0),)
+        containers = (
+            ContainerType(0, "c", (0.9, 0.1), UtilityFunction.capped_linear(1e-9, 100)),
+        )
+        problem = ProvisioningProblem(
+            machines, containers, np.array([[50.0]]), np.array([1.0]), 3600.0
+        )
+        solution = CbsRelaxSolver().solve(problem)
+        assert solution.scheduled(0)[0] == pytest.approx(0.0, abs=1e-6)
+        assert solution.z[0, 0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_switching_cost_damps_scale_down(self):
+        """With big switch costs, the optimizer keeps machines on through a
+        one-interval demand dip."""
+        dip = [[20.0, 4.0], [0.0, 0.0], [20.0, 4.0]]
+        cheap = CbsRelaxSolver().solve(simple_problem(demand=dip, W=3, switch_cost=0.0))
+        sticky = CbsRelaxSolver().solve(simple_problem(demand=dip, W=3, switch_cost=50.0))
+        assert sticky.z[1].sum() >= cheap.z[1].sum() - 1e-6
+        assert sticky.switch_down.sum() <= cheap.switch_down.sum() + 1e-9
+
+    def test_initial_active_charges_switching(self):
+        problem = simple_problem(switch_cost=1.0)
+        cold = CbsRelaxSolver().solve(problem, initial_active=np.zeros(2))
+        warm_start = np.array([5.0, 5.0])
+        warm = CbsRelaxSolver().solve(problem, initial_active=warm_start)
+        assert cold.switch_up.sum() > warm.switch_up.sum() - 1e-9
+
+    def test_committed_lower_bound(self):
+        problem = simple_problem()
+        committed = np.array([[5.0, 0.0], [0.0, 2.0]])
+        solution = CbsRelaxSolver().solve(problem, committed=committed)
+        assert solution.x[0, 0, 0] >= 5.0 - 1e-6
+        assert solution.x[0, 1, 1] >= 2.0 - 1e-6
+
+    def test_committed_clipped_to_capacity(self):
+        problem = simple_problem(available=(1, 1))
+        committed = np.array([[1000.0, 0.0], [0.0, 1000.0]])
+        # Must not raise: infeasible stocks are scaled down.
+        solution = CbsRelaxSolver().solve(problem, committed=committed)
+        assert solution.status == "optimal"
+
+    def test_committed_shape_validated(self):
+        problem = simple_problem()
+        with pytest.raises(ValueError):
+            CbsRelaxSolver().solve(problem, committed=np.zeros((3, 3)))
+
+    def test_higher_price_fewer_machines(self):
+        """Price-aware provisioning: marginal (low-utility) work is shed
+        when electricity is expensive."""
+        machines = (MachineClass(1, "m", (1.0, 1.0), 50, 200.0, (150.0, 40.0), 0.0),)
+        containers = (
+            ContainerType(0, "c", (0.2, 0.2), UtilityFunction.capped_linear(0.002, 1000)),
+        )
+        def at_price(p):
+            problem = ProvisioningProblem(
+                machines, containers, np.array([[100.0]]), np.array([p]), 3600.0
+            )
+            return CbsRelaxSolver().solve(problem)
+        cheap = at_price(0.01)
+        expensive = at_price(10.0)
+        assert expensive.z[0, 0] <= cheap.z[0, 0] + 1e-9
+        assert expensive.scheduled(0)[0] < cheap.scheduled(0)[0]
+
+    def test_objective_decomposition(self):
+        problem = simple_problem()
+        solution = CbsRelaxSolver().solve(problem)
+        assert solution.objective == pytest.approx(
+            solution.utility - solution.energy_cost - solution.switching_cost, abs=1e-6
+        )
+
+
+class TestFirstFitPack:
+    def test_exact_fill(self):
+        machines, leftover = first_fit_pack(
+            counts=np.array([8]),
+            sizes=[(0.25, 0.25)],
+            capacity=(1.0, 1.0),
+            max_machines=2,
+        )
+        assert len(machines) == 2
+        assert leftover[0] == 0
+        assert all(m.containers[0] == 4 for m in machines)
+
+    def test_leftover_when_machines_exhausted(self):
+        machines, leftover = first_fit_pack(
+            counts=np.array([10]),
+            sizes=[(0.5, 0.5)],
+            capacity=(1.0, 1.0),
+            max_machines=3,
+        )
+        assert len(machines) == 3
+        assert leftover[0] == 4
+
+    def test_oversized_container_never_placed(self):
+        machines, leftover = first_fit_pack(
+            counts=np.array([2]),
+            sizes=[(1.5, 0.5)],
+            capacity=(1.0, 1.0),
+            max_machines=5,
+        )
+        assert leftover[0] == 2
+        assert len(machines) == 0
+
+    def test_priority_order_sheds_low_priority(self):
+        machines, leftover = first_fit_pack(
+            counts=np.array([4, 4]),
+            sizes=[(0.5, 0.5), (0.5, 0.5)],
+            capacity=(1.0, 1.0),
+            max_machines=2,
+            priorities=np.array([0.1, 10.0]),
+        )
+        # Type 1 (high priority) fully placed; type 0 sheds.
+        assert leftover[1] == 0
+        assert leftover[0] == 4
+
+    def test_mixed_sizes_two_dimensional(self):
+        # Greedy sequential fill is not optimal bin packing; with one spare
+        # machine (Lemma 1's +1) everything must place.
+        machines, leftover = first_fit_pack(
+            counts=np.array([2, 4]),
+            sizes=[(0.5, 0.1), (0.1, 0.4)],
+            capacity=(1.0, 1.0),
+            max_machines=3,
+        )
+        assert leftover.sum() == 0
+        for machine in machines:
+            assert machine.used[0] <= 1.0 + 1e-9
+            assert machine.used[1] <= 1.0 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            first_fit_pack(np.array([1, 2]), [(0.1, 0.1)], (1.0, 1.0), 1)
+        with pytest.raises(ValueError):
+            first_fit_pack(np.array([-1]), [(0.1, 0.1)], (1.0, 1.0), 1)
+        with pytest.raises(ValueError):
+            first_fit_pack(np.array([1]), [(0.1, 0.1)], (1.0, 1.0), -1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        counts=st.lists(st.integers(0, 30), min_size=1, max_size=4),
+        seed=st.integers(0, 100),
+    )
+    def test_property_capacity_never_violated(self, counts, seed):
+        rng = np.random.default_rng(seed)
+        sizes = [tuple(rng.uniform(0.05, 0.6, size=2)) for _ in counts]
+        machines, leftover = first_fit_pack(
+            np.array(counts), sizes, (1.0, 1.0), max_machines=20
+        )
+        placed = np.zeros(len(counts), dtype=int)
+        for machine in machines:
+            assert (machine.used <= 1.0 + 1e-9).all()
+            for n, c in machine.containers.items():
+                placed[n] += c
+        assert (placed + leftover == np.array(counts)).all()
+
+
+class TestLargestRemainder:
+    def test_column_totals_preserved(self):
+        x = np.array([[0.4, 1.2], [0.4, 0.3], [0.4, 0.0]])
+        targets = _largest_remainder_targets(x)
+        assert targets[:, 0].sum() == 2  # ceil(1.2)
+        assert targets[:, 1].sum() == 2  # ceil(1.5)
+
+    def test_integers_pass_through(self):
+        x = np.array([[2.0, 3.0], [1.0, 0.0]])
+        assert np.array_equal(_largest_remainder_targets(x), x.astype(int))
+
+    def test_thin_spread_not_zeroed(self):
+        """The motivating bug: 0.4 + 0.4 must not round to zero."""
+        x = np.array([[0.4], [0.4]])
+        assert _largest_remainder_targets(x).sum() == 1
+
+
+class TestFirstFitRounder:
+    def test_lemma1_guarantee(self):
+        """Lemma 1: floor(x/(2|R|)) containers of each type fit in
+        floor(z*)+1 machines."""
+        rng = np.random.default_rng(0)
+        for trial in range(20):
+            problem = simple_problem(
+                demand=[[float(rng.integers(1, 60)), float(rng.integers(1, 10))]]
+            )
+            solution = CbsRelaxSolver().solve(problem)
+            rounder = FirstFitRounder()
+            scaled = rounder.lemma1_scaled_counts(problem, solution)
+            for m, machine in enumerate(problem.machines):
+                budget = int(np.floor(solution.z[0, m])) + 1
+                _, leftover = first_fit_pack(
+                    scaled[m],
+                    [c.size for c in problem.containers],
+                    machine.capacity,
+                    max_machines=budget,
+                )
+                assert leftover.sum() == 0, f"trial {trial}: Lemma 1 violated"
+
+    def test_round_respects_availability(self):
+        problem = simple_problem(demand=[[500.0, 50.0]], available=(3, 3))
+        solution = CbsRelaxSolver().solve(problem)
+        plan = FirstFitRounder().round(problem, solution)
+        assert plan.active[0] <= 3
+        assert plan.active[1] <= 3
+
+    def test_round_places_most_containers(self):
+        problem = simple_problem()
+        solution = CbsRelaxSolver().solve(problem)
+        plan = FirstFitRounder().round(problem, solution)
+        assert plan.placement_ratio(solution.scheduled(0)) >= 0.9
+        assert plan.dropped.sum() <= 2
+
+    def test_assignments_match_packed(self):
+        problem = simple_problem()
+        solution = CbsRelaxSolver().solve(problem)
+        plan = FirstFitRounder().round(problem, solution)
+        for m in range(len(problem.machines)):
+            counted = np.zeros(len(problem.containers), dtype=int)
+            for assignment in plan.assignments[m]:
+                for n, c in assignment.containers.items():
+                    counted[n] += c
+            assert np.array_equal(counted, plan.packed[m])
+
+    def test_bad_step_rejected(self):
+        problem = simple_problem()
+        solution = CbsRelaxSolver().solve(problem)
+        with pytest.raises(ValueError):
+            FirstFitRounder().round(problem, solution, t=5)
+
+    def test_omega_inflates_packing_sizes(self):
+        problem_plain = simple_problem()
+        problem_omega = simple_problem(omega=np.array([2.0, 2.0]))
+        s1 = CbsRelaxSolver().solve(problem_plain)
+        s2 = CbsRelaxSolver().solve(problem_omega)
+        # Same scheduled demand needs more machines under omega.
+        assert s2.z[0].sum() >= s1.z[0].sum() - 1e-6

@@ -1,0 +1,41 @@
+"""Tests for the markdown report builder and the report CLI command."""
+
+import pytest
+
+from repro.analysis import build_report
+from repro.simulation import HarmonyConfig, HarmonySimulation
+
+
+@pytest.fixture(scope="module")
+def tiny_results(tiny_trace):
+    config = HarmonyConfig(policy="baseline", predictor="ewma", classifier_sample=1000)
+    result = HarmonySimulation(config, tiny_trace).run()
+    return {"baseline": result}
+
+
+class TestBuildReport:
+    def test_report_structure(self, tiny_trace, tiny_results):
+        markdown = build_report(tiny_trace, results=tiny_results)
+        assert markdown.startswith("# HARMONY reproduction report")
+        for heading in (
+            "## Workload (Section III)",
+            "### Calibration vs the paper's marginals",
+            "### Task sizes (Fig. 7)",
+            "## Policy comparison (Figs. 21-26)",
+            "## Energy (Fig. 26)",
+        ):
+            assert heading in markdown
+
+    def test_report_contains_policy_rows(self, tiny_trace, tiny_results):
+        markdown = build_report(tiny_trace, results=tiny_results)
+        assert "| baseline |" in markdown
+        # CDF table per priority group.
+        for group in ("gratis", "other", "production"):
+            assert f"| {group} |" in markdown
+
+    def test_markdown_tables_well_formed(self, tiny_trace, tiny_results):
+        markdown = build_report(tiny_trace, results=tiny_results)
+        for line in markdown.splitlines():
+            if line.startswith("|") and not line.startswith("|---"):
+                # Every table row is properly terminated.
+                assert line.endswith("|")

@@ -1,0 +1,63 @@
+"""Extra schema coverage: Job/Trace helpers, SchedulingClass semantics."""
+
+import pytest
+
+from repro.trace import MachineType, PriorityGroup, SchedulingClass, Trace
+from tests.conftest import make_task
+
+
+class TestSchedulingClass:
+    def test_values_match_trace_semantics(self):
+        assert SchedulingClass.BATCH == 0
+        assert SchedulingClass.INTERACTIVE == 3
+
+    def test_generated_classes_correlate_with_priority(self, small_trace):
+        """Production tasks skew latency-sensitive, gratis skew batch
+        (Section III: groups 'have strong correlation with task scheduling
+        classes')."""
+        import numpy as np
+
+        means = {}
+        for group in PriorityGroup:
+            classes = [t.scheduling_class for t in small_trace.tasks_in_group(group)]
+            means[group] = float(np.mean(classes))
+        assert means[PriorityGroup.PRODUCTION] > means[PriorityGroup.GRATIS]
+
+
+class TestTraceHelpers:
+    def _machines(self):
+        return (MachineType(platform_id=1, cpu_capacity=1.0, memory_capacity=1.0, count=2),)
+
+    def test_num_jobs_counts_distinct(self):
+        tasks = [
+            make_task(job_id=1, index=0),
+            make_task(job_id=1, index=1),
+            make_task(job_id=2, index=0, submit_time=1.0),
+        ]
+        trace = Trace.from_tasks(self._machines(), tasks)
+        assert trace.num_jobs == 2
+        assert trace.num_tasks == 3
+
+    def test_window_metadata_records_bounds(self, tiny_trace):
+        window = tiny_trace.window(0.0, tiny_trace.horizon / 2)
+        assert window.metadata["window"] == (0.0, tiny_trace.horizon / 2)
+
+    def test_from_tasks_empty(self):
+        trace = Trace.from_tasks(self._machines(), [])
+        assert trace.num_tasks == 0
+        assert trace.horizon == 1.0
+
+    def test_jobs_iteration_order_by_first_arrival(self):
+        tasks = [
+            make_task(job_id=2, index=0, submit_time=0.0),
+            make_task(job_id=1, index=0, submit_time=5.0),
+        ]
+        trace = Trace.from_tasks(self._machines(), tasks)
+        job_ids = [job.job_id for job in trace.jobs()]
+        assert job_ids == [2, 1]
+
+    def test_machine_count_helpers(self, tiny_trace):
+        assert tiny_trace.num_machines == sum(
+            m.count for m in tiny_trace.machine_types
+        )
+        assert len(tiny_trace.machine_types) == 10

@@ -1,0 +1,97 @@
+"""Tests for the seasonal (diurnal-aware) predictors."""
+
+import numpy as np
+import pytest
+
+from repro.forecasting import (
+    SeasonalEwmaPredictor,
+    SeasonalNaivePredictor,
+    make_predictor,
+    rolling_origin_evaluation,
+    NaivePredictor,
+)
+
+
+def diurnal_series(periods=6, period=24, base=50.0, amplitude=0.5, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(periods * period)
+    values = base * (1 + amplitude * np.sin(2 * np.pi * t / period))
+    return values * (1 + rng.normal(0, noise, size=t.size))
+
+
+class TestSeasonalNaive:
+    def test_repeats_last_season(self):
+        p = SeasonalNaivePredictor(period=4)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            p.update(v)
+        forecast = p.forecast(6)
+        assert list(forecast[:4]) == [1.0, 2.0, 3.0, 4.0]
+        assert list(forecast[4:]) == [1.0, 2.0]
+
+    def test_fallback_before_full_season(self):
+        p = SeasonalNaivePredictor(period=10)
+        p.update(7.0)
+        assert list(p.forecast(2)) == [7.0, 7.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeasonalNaivePredictor(period=1)
+        p = SeasonalNaivePredictor(period=4)
+        with pytest.raises(ValueError):
+            p.forecast(0)
+
+    def test_never_negative(self):
+        p = SeasonalNaivePredictor(period=3)
+        for v in (-1.0, -2.0, -3.0):
+            p.update(v)
+        assert (p.forecast(3) >= 0).all()
+
+
+class TestSeasonalEwma:
+    def test_learns_level(self):
+        p = SeasonalEwmaPredictor(period=4, alpha=0.5, gamma=0.2)
+        for _ in range(10):
+            for v in (10.0, 10.0, 10.0, 10.0):
+                p.update(v)
+        assert p.forecast(1)[0] == pytest.approx(10.0, rel=0.05)
+
+    def test_learns_seasonal_shape(self):
+        p = SeasonalEwmaPredictor(period=4, alpha=0.3, gamma=0.3)
+        pattern = (5.0, 10.0, 15.0, 10.0)
+        for _ in range(30):
+            for v in pattern:
+                p.update(v)
+        forecast = p.forecast(4)
+        # The forecast follows the within-period shape.
+        assert forecast[2] > forecast[0]
+        assert forecast[2] == pytest.approx(15.0, rel=0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeasonalEwmaPredictor(period=1)
+        with pytest.raises(ValueError):
+            SeasonalEwmaPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            SeasonalEwmaPredictor(gamma=2.0)
+
+    def test_zero_series_stable(self):
+        p = SeasonalEwmaPredictor(period=3)
+        for _ in range(9):
+            p.update(0.0)
+        assert np.isfinite(p.forecast(3)).all()
+
+
+class TestSeasonalAccuracy:
+    def test_seasonal_beats_naive_on_diurnal_series(self):
+        series = diurnal_series(periods=20, period=24)
+        naive = rolling_origin_evaluation(series, NaivePredictor, warmup=96)
+        seasonal = rolling_origin_evaluation(
+            series,
+            lambda: SeasonalEwmaPredictor(period=24, alpha=0.3, gamma=0.4),
+            warmup=96,
+        )
+        assert seasonal.rmse < naive.rmse
+
+    def test_factory_names(self):
+        assert isinstance(make_predictor("seasonal_naive", period=12), SeasonalNaivePredictor)
+        assert isinstance(make_predictor("seasonal_ewma", period=12), SeasonalEwmaPredictor)

@@ -1,0 +1,117 @@
+"""Tests for the SVG chart writer and figure-file generation."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.analysis import BarChart, LineChart, render_trace_figures
+from repro.analysis.svg import _format_tick, _nice_ticks
+
+
+def parse_svg(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0.0, 97.0)
+        assert ticks[0] <= 0.0 + 1e-9
+        step = ticks[1] - ticks[0]
+        # Ticks stay inside the domain but reach within one step of the top.
+        assert ticks[-1] >= 97.0 - step
+        assert all(a < b for a, b in zip(ticks, ticks[1:]))
+
+    def test_degenerate_range(self):
+        assert _nice_ticks(5.0, 5.0)
+
+    def test_format_tick(self):
+        assert _format_tick(0) == "0"
+        assert _format_tick(12345.0) == "1e+04"
+        assert _format_tick(150.0) == "150"
+        assert _format_tick(2.0) == "2"
+
+
+class TestLineChart:
+    def _chart(self, **kwargs):
+        chart = LineChart(title="T & T", x_label="x", y_label="y", **kwargs)
+        chart.add("alpha", [0, 1, 2, 3], [0.0, 1.0, 4.0, 9.0])
+        chart.add("beta", [0, 1, 2, 3], [9.0, 4.0, 1.0, 0.0], step=True)
+        return chart
+
+    def test_well_formed_xml(self):
+        root = parse_svg(self._chart().render())
+        assert root.tag.endswith("svg")
+
+    def test_title_escaped(self):
+        svg = self._chart().render()
+        assert "T &amp; T" in svg
+
+    def test_series_and_legend_present(self):
+        svg = self._chart().render()
+        assert svg.count("<polyline") == 2
+        assert "alpha" in svg and "beta" in svg
+
+    def test_log_x(self):
+        chart = LineChart(title="log", log_x=True)
+        chart.add("cdf", [1, 10, 100, 1000], [0.1, 0.5, 0.9, 1.0])
+        root = parse_svg(chart.render())
+        assert root is not None
+
+    def test_log_x_drops_nonpositive(self):
+        chart = LineChart(title="log", log_x=True)
+        chart.add("cdf", [0, 1, 10], [0.0, 0.5, 1.0])
+        # Renders without error; the zero point is dropped.
+        parse_svg(chart.render())
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ValueError):
+            LineChart(title="empty").render()
+
+    def test_mismatched_series_rejected(self):
+        chart = LineChart(title="bad")
+        with pytest.raises(ValueError):
+            chart.add("s", [1, 2], [1.0])
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        self._chart().save(path)
+        parse_svg(path.read_text())
+
+
+class TestBarChart:
+    def test_bars_rendered(self):
+        chart = BarChart(title="Energy", y_label="kWh")
+        chart.add("baseline", 70.5).add("cbs", 63.2)
+        svg = chart.render()
+        root = parse_svg(svg)
+        rects = [el for el in root.iter() if el.tag.endswith("rect")]
+        # background + 2 bars
+        assert len(rects) == 3
+        assert "baseline" in svg and "cbs" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BarChart(title="none").render()
+
+
+class TestFigureFiles:
+    def test_render_trace_figures(self, tiny_trace, tmp_path):
+        written = render_trace_figures(tiny_trace, tmp_path)
+        assert len(written) == 5
+        for path in written:
+            assert path.exists()
+            parse_svg(path.read_text())
+
+    def test_render_policy_figures(self, tiny_trace, tmp_path):
+        from repro.analysis import render_policy_figures
+        from repro.simulation import HarmonyConfig, HarmonySimulation
+
+        config = HarmonyConfig(policy="baseline", classifier_sample=1000)
+        result = HarmonySimulation(config, tiny_trace).run()
+        written = render_policy_figures(
+            {"baseline": result}, tiny_trace.horizon, tmp_path
+        )
+        assert len(written) == 5  # 21-22, 23, 24, 25, 26
+        for path in written:
+            parse_svg(path.read_text())

@@ -1,0 +1,184 @@
+"""Unit tests for the trace schema (tasks, jobs, machines, traces)."""
+
+import math
+
+import pytest
+
+from repro.trace import (
+    Job,
+    MachineType,
+    PriorityGroup,
+    Task,
+    Trace,
+)
+from tests.conftest import make_task
+
+
+class TestPriorityGroup:
+    def test_gratis_range(self):
+        assert PriorityGroup.from_priority(0) is PriorityGroup.GRATIS
+        assert PriorityGroup.from_priority(1) is PriorityGroup.GRATIS
+
+    def test_other_range(self):
+        for p in range(2, 9):
+            assert PriorityGroup.from_priority(p) is PriorityGroup.OTHER
+
+    def test_production_range(self):
+        for p in range(9, 12):
+            assert PriorityGroup.from_priority(p) is PriorityGroup.PRODUCTION
+
+    @pytest.mark.parametrize("priority", [-1, 12, 100])
+    def test_out_of_range_rejected(self, priority):
+        with pytest.raises(ValueError):
+            PriorityGroup.from_priority(priority)
+
+    def test_priorities_property_partitions_all_12(self):
+        seen = []
+        for group in PriorityGroup:
+            seen.extend(group.priorities)
+        assert sorted(seen) == list(range(12))
+
+    def test_labels_match_paper(self):
+        assert PriorityGroup.GRATIS.label == "gratis (0-1)"
+        assert PriorityGroup.PRODUCTION.label == "production (9-11)"
+
+
+class TestTask:
+    def test_valid_task(self):
+        task = make_task(cpu=0.5, memory=0.25, priority=9)
+        assert task.priority_group is PriorityGroup.PRODUCTION
+        assert task.demand == (0.5, 0.25)
+        assert task.uid == (1, 0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cpu": 0.0},
+            {"cpu": 1.5},
+            {"memory": -0.1},
+            {"duration": 0.0},
+            {"duration": math.inf},
+            {"submit_time": -1.0},
+            {"priority": 13},
+            {"scheduling_class": 7},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            make_task(**kwargs)
+
+    def test_fits_on_capacity(self):
+        machine = MachineType(platform_id=1, cpu_capacity=0.5, memory_capacity=0.5, count=1)
+        assert make_task(cpu=0.5, memory=0.5).fits_on(machine)
+        assert not make_task(cpu=0.6, memory=0.1).fits_on(machine)
+        assert not make_task(cpu=0.1, memory=0.6).fits_on(machine)
+
+    def test_fits_on_respects_platform_constraint(self):
+        machine = MachineType(platform_id=3, cpu_capacity=1.0, memory_capacity=1.0, count=1)
+        constrained = make_task(allowed_platforms=frozenset({1, 2}))
+        unconstrained = make_task()
+        assert not constrained.fits_on(machine)
+        assert unconstrained.fits_on(machine)
+
+    def test_with_submit_time_copies(self):
+        task = make_task(submit_time=5.0)
+        moved = task.with_submit_time(50.0)
+        assert moved.submit_time == 50.0
+        assert task.submit_time == 5.0
+        assert moved.uid == task.uid
+
+
+class TestJob:
+    def test_job_aggregates(self):
+        tasks = tuple(make_task(job_id=7, index=i, submit_time=10.0 + i) for i in range(3))
+        job = Job(job_id=7, tasks=tasks)
+        assert job.num_tasks == 3
+        assert job.submit_time == 10.0
+
+    def test_job_rejects_foreign_tasks(self):
+        with pytest.raises(ValueError):
+            Job(job_id=7, tasks=(make_task(job_id=8),))
+
+    def test_job_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Job(job_id=7, tasks=())
+
+
+class TestMachineType:
+    def test_capacity_bounds(self):
+        with pytest.raises(ValueError):
+            MachineType(platform_id=1, cpu_capacity=0.0, memory_capacity=0.5, count=1)
+        with pytest.raises(ValueError):
+            MachineType(platform_id=1, cpu_capacity=1.2, memory_capacity=0.5, count=1)
+        with pytest.raises(ValueError):
+            MachineType(platform_id=1, cpu_capacity=0.5, memory_capacity=0.5, count=-1)
+
+
+class TestTrace:
+    def _machines(self):
+        return (MachineType(platform_id=1, cpu_capacity=1.0, memory_capacity=1.0, count=4),)
+
+    def test_from_tasks_sorts_and_infers_horizon(self):
+        tasks = [make_task(job_id=i, submit_time=t) for i, t in enumerate((30.0, 10.0, 20.0))]
+        trace = Trace.from_tasks(self._machines(), tasks)
+        times = [t.submit_time for t in trace.tasks]
+        assert times == sorted(times)
+        assert trace.horizon == pytest.approx(31.0)
+
+    def test_unsorted_tasks_rejected_by_constructor(self):
+        tasks = (make_task(job_id=1, submit_time=30.0), make_task(job_id=2, submit_time=10.0))
+        with pytest.raises(ValueError):
+            Trace(machine_types=self._machines(), tasks=tasks, horizon=100.0)
+
+    def test_task_after_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(
+                machine_types=self._machines(),
+                tasks=(make_task(submit_time=200.0),),
+                horizon=100.0,
+            )
+
+    def test_duplicate_platform_ids_rejected(self):
+        machines = (
+            MachineType(platform_id=1, cpu_capacity=1.0, memory_capacity=1.0, count=1),
+            MachineType(platform_id=1, cpu_capacity=0.5, memory_capacity=0.5, count=1),
+        )
+        with pytest.raises(ValueError):
+            Trace(machine_types=machines, tasks=(), horizon=10.0)
+
+    def test_window_rebases_times(self):
+        tasks = [make_task(job_id=i, submit_time=float(t)) for i, t in enumerate((5, 15, 25))]
+        trace = Trace.from_tasks(self._machines(), tasks, horizon=30.0)
+        window = trace.window(10.0, 20.0)
+        assert window.num_tasks == 1
+        assert window.tasks[0].submit_time == pytest.approx(5.0)
+        assert window.horizon == pytest.approx(10.0)
+
+    def test_window_bad_bounds(self):
+        trace = Trace.from_tasks(self._machines(), [make_task()], horizon=30.0)
+        with pytest.raises(ValueError):
+            trace.window(20.0, 10.0)
+
+    def test_tasks_in_group(self):
+        tasks = [
+            make_task(job_id=1, priority=0),
+            make_task(job_id=2, priority=5),
+            make_task(job_id=3, priority=11),
+        ]
+        trace = Trace.from_tasks(self._machines(), tasks)
+        assert len(trace.tasks_in_group(PriorityGroup.GRATIS)) == 1
+        assert len(trace.tasks_in_group(PriorityGroup.OTHER)) == 1
+        assert len(trace.tasks_in_group(PriorityGroup.PRODUCTION)) == 1
+
+    def test_jobs_grouping(self):
+        tasks = [make_task(job_id=1, index=i) for i in range(3)]
+        tasks += [make_task(job_id=2, index=0, submit_time=1.0)]
+        trace = Trace.from_tasks(self._machines(), tasks)
+        jobs = list(trace.jobs())
+        assert {j.job_id: j.num_tasks for j in jobs} == {1: 3, 2: 1}
+
+    def test_machine_lookup(self):
+        trace = Trace.from_tasks(self._machines(), [make_task()])
+        assert trace.machine_type_by_platform(1).cpu_capacity == 1.0
+        with pytest.raises(KeyError):
+            trace.machine_type_by_platform(99)

@@ -1,0 +1,40 @@
+"""Tests for the trace-calibration validator."""
+
+import pytest
+
+from repro.trace import (
+    MachineType,
+    Trace,
+    validate_trace,
+)
+from tests.conftest import make_task
+
+
+class TestValidateTrace:
+    def test_calibrated_trace_passes(self, small_trace):
+        report = validate_trace(small_trace)
+        assert report.passed, [c.name for c in report.failures()]
+        assert len(report.checks) >= 8
+
+    def test_uncalibrated_trace_fails(self):
+        """A trivial homogeneous workload misses the paper's marginals."""
+        machines = (
+            MachineType(platform_id=1, cpu_capacity=1.0, memory_capacity=1.0, count=10),
+        )
+        tasks = [
+            make_task(job_id=i, submit_time=float(i), duration=500.0,
+                      cpu=0.1, memory=0.1, priority=0)
+            for i in range(100)
+        ]
+        report = validate_trace(Trace.from_tasks(machines, tasks))
+        assert not report.passed
+        failed_names = {c.name for c in report.failures()}
+        assert "short task fraction (<100 s)" in failed_names
+        assert "all priority groups populated" in failed_names
+
+    def test_check_rows_renderable(self, small_trace):
+        report = validate_trace(small_trace)
+        for check in report.checks:
+            row = check.row()
+            assert len(row) == 4
+            assert row[3] in ("ok", "MISS")

@@ -1,0 +1,58 @@
+"""Public API surface tests: everything advertised in __all__ imports."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.trace",
+        "repro.clustering",
+        "repro.classification",
+        "repro.forecasting",
+        "repro.queueing",
+        "repro.containers",
+        "repro.energy",
+        "repro.provisioning",
+        "repro.simulation",
+        "repro.analysis",
+    ],
+)
+def test_subpackage_all_resolves(module):
+    mod = importlib.import_module(module)
+    assert hasattr(mod, "__all__") and mod.__all__
+    for name in mod.__all__:
+        assert getattr(mod, name, None) is not None, f"{module}.{name}"
+
+
+def test_every_public_symbol_documented():
+    """Every public class/function in __all__ carries a docstring."""
+    for module_name in (
+        "repro.trace",
+        "repro.clustering",
+        "repro.classification",
+        "repro.forecasting",
+        "repro.queueing",
+        "repro.containers",
+        "repro.energy",
+        "repro.provisioning",
+        "repro.simulation",
+    ):
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if callable(obj) or isinstance(obj, type):
+                assert obj.__doc__, f"{module_name}.{name} lacks a docstring"

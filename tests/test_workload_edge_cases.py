@@ -1,0 +1,122 @@
+"""Edge-case tests across the pipeline: empty groups, degenerate inputs."""
+
+import numpy as np
+import pytest
+
+from repro.classification import ClassifierConfig, TaskClassifier
+from repro.containers import ContainerManager
+from repro.energy import table2_fleet
+from repro.provisioning import HarmonyController, ControllerConfig
+from repro.forecasting import EwmaPredictor
+from repro.trace import MachineType, Trace
+from tests.conftest import make_task
+
+
+class TestSingleGroupWorkload:
+    """A trace with only one priority group must flow end to end."""
+
+    @pytest.fixture(scope="class")
+    def gratis_only_classifier(self):
+        tasks = [
+            make_task(job_id=i, duration=50.0 + (i % 7) * 400,
+                      cpu=0.01 + (i % 3) * 0.05, memory=0.02, priority=0)
+            for i in range(120)
+        ]
+        return TaskClassifier(ClassifierConfig(seed=1)).fit(tasks)
+
+    def test_only_gratis_classes(self, gratis_only_classifier):
+        groups = {leaf.group.name for leaf in gratis_only_classifier.classes}
+        assert groups == {"GRATIS"}
+
+    def test_classify_foreign_group_raises(self, gratis_only_classifier):
+        production_task = make_task(priority=11)
+        with pytest.raises(KeyError):
+            gratis_only_classifier.classify(production_task)
+
+    def test_controller_works_single_group(self, gratis_only_classifier):
+        manager = ContainerManager(gratis_only_classifier)
+        controller = HarmonyController(
+            table2_fleet(0.05),
+            manager,
+            ControllerConfig(predictor_factory=lambda: EwmaPredictor()),
+        )
+        controller.prime({cid: 2.0 for cid in controller.class_ids})
+        decision = controller.decide(now=0.0)
+        assert decision.total_active() > 0
+
+
+class TestUniformWorkload:
+    """All tasks identical: one class, everything still works."""
+
+    def test_single_point_classes(self):
+        tasks = [
+            make_task(job_id=i, duration=100.0, cpu=0.05, memory=0.05, priority=4)
+            for i in range(60)
+        ]
+        classifier = TaskClassifier(ClassifierConfig(seed=0)).fit(tasks)
+        assert classifier.num_classes >= 1
+        for leaf in classifier.classes:
+            assert leaf.cpu_std == pytest.approx(0.0, abs=1e-12)
+        manager = ContainerManager(classifier)
+        spec = next(iter(manager.specs.values()))
+        # Zero variance -> container exactly at the mean.
+        assert spec.cpu == pytest.approx(0.05)
+
+    def test_scv_zero_for_constant_durations(self):
+        tasks = [
+            make_task(job_id=i, duration=100.0, cpu=0.05, memory=0.05, priority=4)
+            for i in range(30)
+        ]
+        classifier = TaskClassifier(ClassifierConfig(seed=0)).fit(tasks)
+        for leaf in classifier.classes:
+            assert leaf.duration_scv == pytest.approx(0.0, abs=1e-12)
+
+
+class TestEmptyishTraces:
+    def test_trace_with_no_tasks(self):
+        machines = (MachineType(platform_id=1, cpu_capacity=1.0,
+                                memory_capacity=1.0, count=2),)
+        trace = Trace(machine_types=machines, tasks=(), horizon=100.0)
+        assert trace.num_tasks == 0
+        assert trace.num_jobs == 0
+        assert list(trace.jobs()) == []
+
+    def test_simulator_with_no_tasks(self):
+        from repro.simulation import ClusterSimulator, ClusterConfig
+        from tests.test_cluster_simulation import AllOnPolicy
+
+        fleet = table2_fleet(0.02)
+        simulator = ClusterSimulator(
+            tasks=(), horizon=900.0, machine_models=fleet,
+            policy=AllOnPolicy(fleet), class_of=lambda t: 0,
+            config=ClusterConfig(control_interval=300.0),
+        )
+        metrics = simulator.run()
+        assert metrics.num_submitted == 0
+        assert simulator.energy.total_kwh > 0  # idle fleet still burns power
+
+
+class TestControllerDegenerateInputs:
+    def test_all_zero_everything(self, classifier):
+        manager = ContainerManager(classifier)
+        controller = HarmonyController(
+            table2_fleet(0.05), manager,
+            ControllerConfig(predictor_factory=lambda: EwmaPredictor()),
+        )
+        decision = controller.decide(
+            now=0.0, backlog={}, running={}, running_by_platform={}, powered={}
+        )
+        assert decision.total_active() == 0
+        assert sum(decision.demand.values()) == 0
+
+    def test_huge_backlog_caps_at_availability(self, classifier):
+        manager = ContainerManager(classifier)
+        fleet = table2_fleet(0.01)
+        controller = HarmonyController(
+            fleet, manager,
+            ControllerConfig(predictor_factory=lambda: EwmaPredictor()),
+        )
+        cid = controller.class_ids[0]
+        decision = controller.decide(now=0.0, backlog={cid: 100_000})
+        for model in fleet:
+            assert decision.active[model.platform_id] <= model.count
