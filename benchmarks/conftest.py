@@ -7,6 +7,8 @@ every bench that reads from them (Figs. 19-26).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.classification import ClassifierConfig, TaskClassifier
@@ -19,8 +21,10 @@ from repro.trace import SyntheticTraceConfig, generate_trace
 #: saturating the scaled-down fleet's memory; 4 h at load 0.6 is the
 #: laptop-scale operating point (see EXPERIMENTS.md for the sensitivity
 #: discussion).
-BENCH_HOURS = 4.0
-BENCH_MACHINES = 400
+#: CI smoke runs shrink the trace via the environment (e.g. 0.5 h) without
+#: touching the default laptop-scale evaluation point.
+BENCH_HOURS = float(os.environ.get("REPRO_BENCH_HOURS", 4.0))
+BENCH_MACHINES = int(os.environ.get("REPRO_BENCH_MACHINES", 400))
 BENCH_SEED = 7
 BENCH_LOAD = 0.5
 

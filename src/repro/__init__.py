@@ -59,6 +59,15 @@ from repro.provisioning import (
     BaselineProvisioner,
     CbpController,
 )
+from repro.resilience import (
+    CorrelatedOutage,
+    FaultPlan,
+    GuardConfig,
+    GuardedController,
+    MachineDegradation,
+    MonitoringBlackout,
+    RandomMachineFailures,
+)
 from repro.simulation import (
     ClusterSimulator,
     HarmonySimulation,
@@ -112,4 +121,12 @@ __all__ = [
     "HarmonySimulation",
     "HarmonyConfig",
     "SimulationResult",
+    # resilience
+    "FaultPlan",
+    "CorrelatedOutage",
+    "MachineDegradation",
+    "MonitoringBlackout",
+    "RandomMachineFailures",
+    "GuardConfig",
+    "GuardedController",
 ]

@@ -12,6 +12,10 @@ simulate
     Run one provisioning policy over a trace and print the summary.
 compare
     Run baseline/CBP/CBS over the same trace and print Figs. 21-26 data.
+resilience
+    Replay a fault-scenario matrix (outage / stragglers / blackout /
+    poisson) under a guarded or unguarded policy and print availability,
+    MTTR, restart latency and SLO attainment per scenario.
 """
 
 from __future__ import annotations
@@ -137,6 +141,80 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Scenario name -> fault-plan builder over (horizon_s, control_interval_s).
+RESILIENCE_SCENARIOS = ("clean", "outage", "stragglers", "blackout", "poisson")
+
+
+def _resilience_plan(scenario: str, horizon: float, interval: float):
+    from repro.resilience import (
+        CorrelatedOutage,
+        FaultPlan,
+        MachineDegradation,
+        MonitoringBlackout,
+        RandomMachineFailures,
+    )
+
+    plan = FaultPlan(seed=0)
+    if scenario == "clean":
+        return None
+    if scenario == "outage":
+        return plan.with_fault(CorrelatedOutage(time=horizon / 2, fraction=0.3))
+    if scenario == "stragglers":
+        return plan.with_fault(
+            MachineDegradation(
+                time=horizon / 3, duration=horizon / 3, fraction=0.25, slowdown=2.5
+            )
+        )
+    if scenario == "blackout":
+        return plan.with_fault(MonitoringBlackout(time=horizon / 3, intervals=3))
+    if scenario == "poisson":
+        return plan.with_fault(RandomMachineFailures(rate_per_machine_hour=0.05))
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def cmd_resilience(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    trace = _load_or_generate(args)
+    base = HarmonyConfig(
+        policy=args.policy, predictor=args.predictor, guard=not args.no_guard
+    )
+    scenarios = RESILIENCE_SCENARIOS if args.scenario == "all" else (args.scenario,)
+    simulation = HarmonySimulation(base, trace)
+    rows = []
+    for scenario in scenarios:
+        plan = _resilience_plan(scenario, trace.horizon, base.control_interval)
+        config = replace(base, fault_plan=plan)
+        result = HarmonySimulation(
+            config, trace, classifier=simulation.classifier
+        ).run()
+        metrics = result.metrics
+        guard = result.guard_stats
+        rows.append(
+            [
+                scenario,
+                f"{metrics.num_scheduled}/{metrics.num_submitted}",
+                result.tasks_killed,
+                f"{metrics.availability():.3f}",
+                f"{metrics.mttr(censor_at=trace.horizon):.0f}s",
+                f"{metrics.mean_restart_latency(censor_at=trace.horizon):.0f}s",
+                f"{metrics.slo_attainment(300.0, include_unscheduled_at=trace.horizon):.3f}",
+                guard.trips if guard else "-",
+                guard.invalid_decisions if guard else "-",
+            ]
+        )
+    print(
+        ascii_table(
+            ["scenario", "scheduled", "killed", "availability", "MTTR",
+             "restart lat", "SLO(5m)", "trips", "invalid"],
+            rows,
+            title=f"Resilience matrix — {args.policy}"
+                  f" ({'guarded' if not args.no_guard else 'unguarded'})",
+        )
+    )
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis import build_report
 
@@ -194,6 +272,21 @@ def build_parser() -> argparse.ArgumentParser:
     compare = subparsers.add_parser("compare", help="baseline vs CBP vs CBS")
     _add_trace_args(compare)
     compare.set_defaults(fn=cmd_compare)
+
+    resilience = subparsers.add_parser(
+        "resilience", help="fault-scenario matrix with availability/MTTR/SLO"
+    )
+    _add_trace_args(resilience)
+    resilience.add_argument("--policy", choices=POLICIES, default="cbs")
+    resilience.add_argument("--predictor", default="ewma")
+    resilience.add_argument(
+        "--scenario", choices=RESILIENCE_SCENARIOS + ("all",), default="all"
+    )
+    resilience.add_argument(
+        "--no-guard", action="store_true",
+        help="run the raw policy without the GuardedController wrapper",
+    )
+    resilience.set_defaults(fn=cmd_resilience)
 
     report = subparsers.add_parser(
         "report", help="run the evaluation and write a markdown report"

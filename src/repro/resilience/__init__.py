@@ -1,0 +1,41 @@
+"""Resilience: fault injection, controller hardening, degraded-mode control.
+
+The paper's Fig. 8 architecture claims the monitoring module "reports any
+failures and anomalies" and that the management loop absorbs them; this
+package supplies both sides of that claim for the reproduction:
+
+- :mod:`repro.resilience.faults` -- a composable :class:`FaultPlan` /
+  :class:`FaultInjector` API driving correlated domain outages, straggler
+  degradation, monitoring blackouts and Poisson machine crashes through
+  the simulator's event queue;
+- :mod:`repro.resilience.guard` -- :class:`GuardedController`, a policy
+  wrapper that validates and clamps every decision, falls back to the
+  last-known-good plan on solver failure, and trips a forecast-residual
+  circuit breaker into reactive threshold provisioning.
+
+See ``docs/resilience.md`` for the fault model and guardrail thresholds.
+"""
+
+from repro.resilience.faults import (
+    CorrelatedOutage,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    MachineDegradation,
+    MonitoringBlackout,
+    RandomMachineFailures,
+)
+from repro.resilience.guard import GuardConfig, GuardedController, GuardStats
+
+__all__ = [
+    "CorrelatedOutage",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "MachineDegradation",
+    "MonitoringBlackout",
+    "RandomMachineFailures",
+    "GuardConfig",
+    "GuardedController",
+    "GuardStats",
+]

@@ -19,7 +19,13 @@ provides that simulator:
 from repro.simulation.engine import EventQueue, Event
 from repro.simulation.machine import Machine, MachinePool, MachineState
 from repro.simulation.scheduler import FirstFitScheduler, BestFitScheduler, QuotaLedger
-from repro.simulation.metrics import SimulationMetrics, TaskRecord
+from repro.simulation.metrics import (
+    FaultSample,
+    MachineFailure,
+    SimulationMetrics,
+    TaskRecord,
+    TaskRestart,
+)
 from repro.simulation.cluster import ClusterSimulator, ClusterConfig
 from repro.simulation.harmony import (
     HarmonyConfig,
@@ -40,6 +46,9 @@ __all__ = [
     "QuotaLedger",
     "SimulationMetrics",
     "TaskRecord",
+    "FaultSample",
+    "MachineFailure",
+    "TaskRestart",
     "ClusterSimulator",
     "ClusterConfig",
     "HarmonyConfig",

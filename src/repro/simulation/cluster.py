@@ -5,9 +5,13 @@ Event loop (Section IX's simulation methodology):
 - **task arrival**: classify, enqueue, try to place immediately;
 - **task finish**: release capacity, power off drained machines, backfill;
 - **machine ready**: a booted machine becomes schedulable, backfill;
+- **fault**: the :class:`~repro.resilience.faults.FaultInjector` fires a
+  scripted or stochastic fault (correlated outage, straggler degradation,
+  Poisson crash sweep) against the fleet;
 - **control tick** (every ``control_interval`` s): account energy for the
   elapsed interval (Eq. 7 + switching, Eq. 9), report observed arrivals to
-  the policy, apply its new machine targets and quotas, then schedule.
+  the policy (masked during monitoring blackouts), apply its new machine
+  targets and quotas, then schedule.
 
 Policies plug in through the small :class:`Policy` protocol; adapters for
 CBS / CBP / baseline / static live in :mod:`repro.simulation.harmony`.
@@ -18,12 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
-import numpy as np
-
 from repro.energy.accounting import EnergyMeter
 from repro.energy.models import MachineModel
 from repro.energy.prices import PriceSchedule, constant_price
 from repro.provisioning.controller import ProvisioningDecision
+from repro.resilience.faults import FaultInjector, FaultPlan, RandomMachineFailures
 from repro.simulation.engine import EventKind, EventQueue
 from repro.simulation.machine import MachinePool, MachineState
 from repro.simulation.metrics import SimulationMetrics
@@ -74,10 +77,16 @@ class ClusterConfig:
     backfill_attempts: int = 200
     #: Failure injection: expected crashes per powered machine-hour.  Tasks
     #: on a crashed machine restart from scratch elsewhere; the machine is
-    #: unavailable for ``repair_seconds``.
+    #: unavailable for ``repair_seconds``.  A thin preset over
+    #: :class:`~repro.resilience.faults.RandomMachineFailures` — for
+    #: correlated outages, stragglers and monitoring blackouts compose a
+    #: ``fault_plan`` instead.
     failure_rate_per_machine_hour: float = 0.0
     repair_seconds: float = 3600.0
     failure_seed: int = 0
+    #: Composable fault scenario (scripted + stochastic); merged with the
+    #: legacy Poisson knob above when both are set.
+    fault_plan: FaultPlan | None = None
     #: Priority preemption (the trace's priority semantics, Section III):
     #: a task may evict running tasks at least ``preemption_priority_gap``
     #: priority levels below it when no machine has room.  Evicted tasks
@@ -88,6 +97,14 @@ class ClusterConfig:
     def __post_init__(self) -> None:
         if self.control_interval <= 0:
             raise ValueError(f"control_interval must be positive, got {self.control_interval}")
+        if self.max_schedule_attempts < 1:
+            raise ValueError(
+                f"max_schedule_attempts must be >= 1, got {self.max_schedule_attempts}"
+            )
+        if self.backfill_attempts < 1:
+            raise ValueError(
+                f"backfill_attempts must be >= 1, got {self.backfill_attempts}"
+            )
         if self.failure_rate_per_machine_hour < 0:
             raise ValueError(
                 "failure_rate_per_machine_hour must be >= 0, got "
@@ -150,14 +167,31 @@ class ClusterSimulator:
         self._demand_cpu = 0.0
         self._demand_memory = 0.0
         self._last_tick = 0.0
+        self._total_machines = sum(pool.total for pool in self.pools)
         #: task uid -> machine hosting it (O(1) release on finish).
         self._machine_of: dict[tuple[int, int], "Machine"] = {}
-        self._failure_rng = np.random.default_rng(self.config.failure_seed)
+        #: task uid -> absolute scheduled finish time (for fault rescaling).
+        self._finish_time: dict[tuple[int, int], float] = {}
         self.tasks_killed = 0
         self.tasks_preempted = 0
         #: Placement generation per task: invalidates stale finish events
         #: after a failure-driven restart.
         self._generation: dict[tuple[int, int], int] = {}
+        self.fault_injector = self._build_fault_injector()
+
+    def _build_fault_injector(self) -> FaultInjector | None:
+        """Merge the legacy Poisson knob with any composed fault plan."""
+        plan = self.config.fault_plan
+        if self.config.failure_rate_per_machine_hour > 0:
+            preset = RandomMachineFailures(
+                self.config.failure_rate_per_machine_hour, self.config.repair_seconds
+            )
+            plan = (plan or FaultPlan(seed=self.config.failure_seed)).with_fault(preset)
+        if plan is None or not plan.has_faults:
+            return None
+        injector = FaultInjector(plan)
+        injector.attach(self)
+        return injector
 
     # ---------------------------------------------------------------- runs
 
@@ -183,6 +217,9 @@ class ClusterSimulator:
                 self._on_finish(event.payload)
             elif event.kind is EventKind.MACHINE_READY:
                 self._on_machine_ready(event.payload)
+            elif event.kind is EventKind.FAULT:
+                assert self.fault_injector is not None
+                self.fault_injector.fire(event.payload, self._queue.now)
             elif event.kind is EventKind.CONTROL_TICK:
                 self._on_tick(self._queue.now)
         return self.metrics
@@ -211,15 +248,16 @@ class ClusterSimulator:
             self._pending_dirty = True
         else:
             self._machine_of[task.uid] = machine
-            self._start_task(task, class_id, machine.model.platform_id, now)
+            self._start_task(task, class_id, machine, now)
 
-    def _start_task(self, task: Task, class_id: int, platform_id: int, now: float) -> None:
-        self.metrics.task_scheduled(task, now, class_id, platform_id)
+    def _start_task(self, task: Task, class_id: int, machine: "Machine", now: float) -> None:
+        self.metrics.task_scheduled(task, now, class_id, machine.model.platform_id)
         generation = self._generation.get(task.uid, 0) + 1
         self._generation[task.uid] = generation
-        self._queue.schedule(
-            now + task.duration, EventKind.TASK_FINISH, (task, generation)
-        )
+        # Stragglers stretch the work: a degraded machine runs slower.
+        finish = now + task.duration * machine.slowdown
+        self._finish_time[task.uid] = finish
+        self._queue.schedule(finish, EventKind.TASK_FINISH, (task, generation))
 
     def _on_finish(self, payload: tuple[Task, int]) -> None:
         task, generation = payload
@@ -227,6 +265,7 @@ class ClusterSimulator:
             return  # stale event: the task was killed and restarted
         now = self._queue.now
         machine = self._machine_of.pop(task.uid)
+        self._finish_time.pop(task.uid, None)
         class_id = machine.release(task)
         self.ledger.release(machine.model.platform_id, class_id)
         self.metrics.task_finished(task, now)
@@ -240,6 +279,10 @@ class ClusterSimulator:
     def _on_machine_ready(self, machine) -> None:
         pool = self._pool_by_platform[machine.model.platform_id]
         pool.machine_ready(machine)
+        if machine.state is MachineState.ON:
+            # Closes the repair episode if this machine had crashed (no-op
+            # otherwise); a boot cancelled by a mid-boot crash stays open.
+            self.metrics.machine_recovered(machine.machine_id, self._queue.now)
         if self._pending:
             self._schedule_round(self.config.backfill_attempts)
 
@@ -248,10 +291,14 @@ class ClusterSimulator:
         self._record_timelines(now)
         if now >= self.horizon:
             return
-        if self.config.failure_rate_per_machine_hour > 0:
-            self._inject_failures(now)
         if self.relabel is not None:
             self._relabel_running(now)
+
+        # What the monitoring pipe reports — zeroed during a blackout, even
+        # though the tasks really arrived (the policy must cope).
+        arrivals = self._interval_arrivals
+        if self.fault_injector is not None:
+            arrivals = self.fault_injector.mask_arrivals(now, arrivals)
 
         view = ClusterView(
             time=now,
@@ -266,7 +313,7 @@ class ClusterSimulator:
                 for pool in self.pools
             },
             powered={pool.platform_id: pool.powered for pool in self.pools},
-            arrivals=dict(self._interval_arrivals),
+            arrivals=dict(arrivals),
         )
         self._interval_arrivals = {}
         decision = self.policy.decide(view)
@@ -334,6 +381,7 @@ class ClusterSimulator:
             best_machine.release(victim)
             self.ledger.release(best_machine.model.platform_id, victim_class)
             self._machine_of.pop(victim.uid, None)
+            self._finish_time.pop(victim.uid, None)
             self._generation[victim.uid] = self._generation.get(victim.uid, 0) + 1
             record = self.metrics.records[victim.uid]
             record.schedule_time = None
@@ -345,39 +393,60 @@ class ClusterSimulator:
         self.ledger.place(best_machine.model.platform_id, class_id)
         return best_machine
 
-    def _inject_failures(self, now: float) -> None:
-        """Crash a Poisson-sampled set of powered machines (Section IV's
-        monitoring module reports failures; this is their source)."""
-        for pool in self.pools:
-            powered = [
-                m for m in pool.machines if m.state is not MachineState.OFF
-            ]
-            if not powered:
+    # -------------------------------------------------------- fault hooks
+    #
+    # The FaultInjector decides *what* fails and *when*; these methods own
+    # the mechanics (quota stocks, finish events, metrics bookkeeping).
+
+    def schedule_fault(self, time: float, payload: object) -> None:
+        """Queue a fault event (fired back to ``fault_injector.fire``)."""
+        self._queue.schedule(time, EventKind.FAULT, payload)
+
+    def crash_machine(
+        self, pool: MachinePool, machine, now: float, repair_seconds: float
+    ) -> None:
+        """Crash one machine: its tasks restart elsewhere, repair begins."""
+        if machine.is_off and machine.failed_until > now:
+            return  # already down (overlapping faults)
+        killed = pool.fail(machine, now, repair_seconds)
+        self.metrics.machine_failed(machine.machine_id, now)
+        for task, class_id in killed:
+            self.ledger.release(machine.model.platform_id, class_id)
+            self._machine_of.pop(task.uid, None)
+            self._finish_time.pop(task.uid, None)
+            # Invalidate the in-flight finish event.
+            self._generation[task.uid] = self._generation.get(task.uid, 0) + 1
+            record = self.metrics.records[task.uid]
+            record.schedule_time = None
+            record.platform_id = None
+            self.metrics.task_killed(task, now)
+            self.tasks_killed += 1
+            self._pending.append(task)
+            self._pending_dirty = True
+
+    def rescale_machine(self, machine, slowdown: float, now: float) -> None:
+        """Set a machine's straggler factor.
+
+        Remaining work of every task running there is stretched (or, on
+        restore, compressed) by the slowdown ratio; their finish events are
+        re-issued under a new generation.
+        """
+        if slowdown <= 0:
+            raise ValueError(f"slowdown must be positive, got {slowdown}")
+        old = machine.slowdown
+        if old == slowdown:
+            return
+        machine.slowdown = slowdown
+        for uid, (task, _) in machine.running.items():
+            finish = self._finish_time.get(uid)
+            if finish is None:
                 continue
-            expected = (
-                self.config.failure_rate_per_machine_hour
-                * len(powered)
-                * self.config.control_interval
-                / 3600.0
-            )
-            crashes = min(int(self._failure_rng.poisson(expected)), len(powered))
-            if crashes == 0:
-                continue
-            victims = self._failure_rng.choice(len(powered), size=crashes, replace=False)
-            for index in victims:
-                machine = powered[int(index)]
-                killed = pool.fail(machine, now, self.config.repair_seconds)
-                for task, class_id in killed:
-                    self.ledger.release(machine.model.platform_id, class_id)
-                    self._machine_of.pop(task.uid, None)
-                    # Invalidate the in-flight finish event.
-                    self._generation[task.uid] = self._generation.get(task.uid, 0) + 1
-                    record = self.metrics.records[task.uid]
-                    record.schedule_time = None
-                    record.platform_id = None
-                    self.tasks_killed += 1
-                    self._pending.append(task)
-                    self._pending_dirty = True
+            remaining = max(finish - now, 0.0)
+            new_finish = now + remaining * (slowdown / old)
+            generation = self._generation.get(uid, 0) + 1
+            self._generation[uid] = generation
+            self._finish_time[uid] = new_finish
+            self._queue.schedule(new_finish, EventKind.TASK_FINISH, (task, generation))
 
     def _relabel_running(self, now: float) -> None:
         """Section V's progressive relabeling: running tasks that outlive
@@ -441,12 +510,7 @@ class ClusterSimulator:
         )
         for placement in placements:
             self._machine_of[placement.task.uid] = placement.machine
-            self._start_task(
-                placement.task,
-                placement.class_id,
-                placement.machine.model.platform_id,
-                now,
-            )
+            self._start_task(placement.task, placement.class_id, placement.machine, now)
         self._pending = leftover
 
     def _account_energy(self, now: float) -> None:
@@ -478,6 +542,18 @@ class ClusterSimulator:
         powered = sum(pool.powered for pool in self.pools)
         schedulable = sum(len(pool.schedulable_machines()) for pool in self.pools)
         self.metrics.machine_timeline.append((now, powered, schedulable))
+        failed = sum(
+            1 for pool in self.pools for m in pool.machines if m.failed_until > now
+        )
+        degraded = sum(
+            1 for pool in self.pools for m in pool.machines if m.slowdown > 1.0
+        )
+        blackout = (
+            self.fault_injector.in_blackout(now)
+            if self.fault_injector is not None
+            else False
+        )
+        self.metrics.fault_sample(now, failed, self._total_machines, degraded, blackout)
         self.metrics.machine_timeline_by_type.append(
             (now, {pool.platform_id: pool.powered for pool in self.pools})
         )

@@ -20,7 +20,10 @@ class EventKind(enum.IntEnum):
     TASK_FINISH = 0
     MACHINE_READY = 1
     TASK_ARRIVAL = 2
-    CONTROL_TICK = 3
+    #: Fault injection fires before the control tick at the same timestamp,
+    #: so the policy observes the post-fault world state.
+    FAULT = 3
+    CONTROL_TICK = 4
 
 
 @dataclass(frozen=True, order=False)

@@ -27,6 +27,8 @@ from repro.provisioning.controller import (
     HarmonyController,
     ProvisioningDecision,
 )
+from repro.resilience.faults import FaultPlan, FaultStats
+from repro.resilience.guard import GuardConfig, GuardedController, GuardStats
 from repro.simulation.cluster import ClusterConfig, ClusterSimulator, ClusterView
 from repro.simulation.metrics import SimulationMetrics
 from repro.trace.schema import PriorityGroup, Task, Trace
@@ -73,6 +75,12 @@ class HarmonyConfig:
     #: Enable priority preemption in the simulated scheduler (the trace's
     #: priority semantics: production evicts gratis when room is tight).
     enable_preemption: bool = False
+    #: Fault scenario injected into the run (see :mod:`repro.resilience`).
+    fault_plan: FaultPlan | None = None
+    #: Wrap the policy in a :class:`~repro.resilience.guard.GuardedController`
+    #: (decision validation, delta clamping, forecast circuit breaker).
+    guard: bool = False
+    guard_config: GuardConfig | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -104,11 +112,20 @@ class _ControllerPolicy:
         self.controller = controller
         self.arrival_splitter = arrival_splitter
 
-    def decide(self, view: ClusterView) -> ProvisioningDecision:
+    def observe_view(self, view: ClusterView) -> None:
+        """Feed observed arrivals to the predictors without deciding.
+
+        Used directly by :class:`~repro.resilience.guard.GuardedController`
+        while its circuit breaker is open, so forecasts re-converge before
+        control returns to the MPC path.
+        """
         arrivals = view.arrivals
         if self.arrival_splitter is not None:
             arrivals = self.arrival_splitter(arrivals)
         self.controller.observe(arrivals)
+
+    def decide(self, view: ClusterView) -> ProvisioningDecision:
+        self.observe_view(view)
         return self.controller.decide(
             view.time,
             backlog=view.backlog,
@@ -174,6 +191,12 @@ class SimulationResult:
     tasks_killed: int = 0
     tasks_preempted: int = 0
     relabel_events: int = 0
+    #: What the guard had to do, when ``HarmonyConfig.guard`` was on.
+    guard_stats: GuardStats | None = None
+    #: (time, "mpc" | "reactive") per control tick, when the guard was on.
+    guard_timeline: list[tuple[float, str]] = field(default_factory=list)
+    #: What the fault injector actually did, when faults were configured.
+    fault_stats: FaultStats | None = None
 
     @property
     def total_cost(self) -> float:
@@ -207,6 +230,21 @@ class SimulationResult:
             "mean_active_machines": self.metrics.mean_active_machines(),
             "mean_delay_s": self.metrics.mean_delay(include_unscheduled_at=self.horizon),
             "delay_by_group": delays,
+            "resilience": {
+                "availability": self.metrics.availability(),
+                "mttr_s": self.metrics.mttr(censor_at=self.horizon),
+                "mean_restart_latency_s": self.metrics.mean_restart_latency(
+                    censor_at=self.horizon
+                ),
+                "slo_attainment_5m": self.metrics.slo_attainment(
+                    300.0, include_unscheduled_at=self.horizon
+                ),
+                "machines_failed": len(self.metrics.failure_events),
+                "breaker_trips": self.guard_stats.trips if self.guard_stats else 0,
+                "invalid_decisions": (
+                    self.guard_stats.invalid_decisions if self.guard_stats else 0
+                ),
+            },
         }
 
 
@@ -316,8 +354,30 @@ class HarmonySimulation:
             for task in self.trace.tasks
         )
 
+    def prepare(self):
+        """The replay-ready task stream and its class-of mapping.
+
+        Returns ``(tasks, class_of)`` exactly as :meth:`run` hands them to
+        the :class:`~repro.simulation.cluster.ClusterSimulator` — the public
+        seam for benchmarks and examples that drive a simulator directly
+        with a custom :class:`~repro.simulation.cluster.ClusterConfig`.
+        """
+        return self._prepare_tasks(), lambda task: self._class_by_uid[task.uid]
+
     def build_policy(self):
-        """Instantiate the configured policy (exposed for tests)."""
+        """Instantiate the configured policy (exposed for tests).
+
+        With ``config.guard`` set, the policy comes back wrapped in a
+        :class:`~repro.resilience.guard.GuardedController`.
+        """
+        policy = self._build_raw_policy()
+        if self.config.guard:
+            return GuardedController(
+                policy, self.config.fleet, config=self.config.guard_config
+            )
+        return policy
+
+    def _build_raw_policy(self):
         config = self.config
         if config.policy in ("cbs", "cbp"):
             controller_config = ControllerConfig(
@@ -348,34 +408,45 @@ class HarmonySimulation:
 
     def run(self) -> SimulationResult:
         policy = self.build_policy()
+        tasks, class_of = self.prepare()
         simulator = ClusterSimulator(
-            tasks=self._prepare_tasks(),
+            tasks=tasks,
             horizon=self.trace.horizon,
             machine_models=self.config.fleet,
             policy=policy,
-            class_of=lambda task: self._class_by_uid[task.uid],
+            class_of=class_of,
             config=ClusterConfig(
                 control_interval=self.config.control_interval,
                 price=self.config.price,
                 enable_preemption=self.config.enable_preemption,
+                fault_plan=self.config.fault_plan,
             ),
             relabel=self.relabel_class,
         )
         metrics = simulator.run()
 
+        guard_stats: GuardStats | None = None
+        guard_timeline: list[tuple[float, str]] = []
+        inner = policy
         decisions: list[ProvisioningDecision] = []
-        if isinstance(policy, _ThresholdPolicy):
-            decisions = policy.autoscaler.decisions
-        elif isinstance(policy, _ControllerPolicy):
-            decisions = policy.controller.decisions
+        if isinstance(policy, GuardedController):
+            guard_stats = policy.stats
+            guard_timeline = policy.mode_timeline
+            # The sanitized decisions are what the cluster actually applied.
+            decisions = policy.decisions
+            inner = policy.policy
+        if isinstance(inner, _ThresholdPolicy):
+            decisions = decisions or inner.autoscaler.decisions
+        elif isinstance(inner, _ControllerPolicy):
+            decisions = decisions or inner.controller.decisions
             for decision in decisions:
                 by_group: dict[PriorityGroup, int] = {g: 0 for g in PriorityGroup}
                 for class_id, demand in decision.demand.items():
                     group = self.manager.spec(class_id).task_class.group
                     by_group[group] += int(demand)
                 metrics.container_timeline.append((decision.time, by_group))
-        elif isinstance(policy, _BaselinePolicy):
-            decisions = policy.provisioner.decisions
+        elif isinstance(inner, _BaselinePolicy):
+            decisions = decisions or inner.provisioner.decisions
 
         return SimulationResult(
             policy=self.config.policy,
@@ -391,6 +462,13 @@ class HarmonySimulation:
             tasks_killed=simulator.tasks_killed,
             tasks_preempted=simulator.tasks_preempted,
             relabel_events=simulator.relabel_events,
+            guard_stats=guard_stats,
+            guard_timeline=guard_timeline,
+            fault_stats=(
+                simulator.fault_injector.stats
+                if simulator.fault_injector is not None
+                else None
+            ),
         )
 
 

@@ -37,6 +37,9 @@ class Machine:
     draining: bool = False
     #: A failed machine cannot be booted again before this time.
     failed_until: float = 0.0
+    #: Straggler factor: tasks here take ``slowdown`` times their nominal
+    #: duration (1.0 = healthy; set by degradation faults).
+    slowdown: float = 1.0
     cpu_used: float = 0.0
     memory_used: float = 0.0
     #: task uid -> (task, class_id) for everything currently running here.
@@ -53,6 +56,10 @@ class Machine:
     @property
     def is_idle(self) -> bool:
         return not self.running
+
+    @property
+    def is_off(self) -> bool:
+        return self.state is MachineState.OFF
 
     @property
     def schedulable(self) -> bool:
@@ -239,6 +246,7 @@ class MachinePool:
         machine.state = MachineState.OFF
         machine.draining = False
         machine.failed_until = now + repair_seconds
+        machine.slowdown = 1.0  # repairs also clear any degradation
         self.stats.failures += 1
         return victims
 

@@ -39,6 +39,37 @@ class TaskRecord:
 
 
 @dataclass
+class MachineFailure:
+    """One machine crash and (if observed) its return to service."""
+
+    machine_id: int
+    fail_time: float
+    #: When the machine was next booted back to ON; ``None`` = still down.
+    recover_time: float | None = None
+
+
+@dataclass
+class TaskRestart:
+    """One fault-driven task kill and its eventual re-placement."""
+
+    uid: tuple[int, int]
+    kill_time: float
+    #: When the task was scheduled again; ``None`` = never restarted.
+    reschedule_time: float | None = None
+
+
+@dataclass(frozen=True)
+class FaultSample:
+    """Per-tick fleet health snapshot."""
+
+    time: float
+    failed_machines: int
+    total_machines: int
+    degraded_machines: int
+    blackout: bool
+
+
+@dataclass
 class SimulationMetrics:
     """Aggregated run metrics."""
 
@@ -51,6 +82,18 @@ class SimulationMetrics:
     container_timeline: list[tuple[float, dict[PriorityGroup, int]]] = field(default_factory=list)
     #: (time, mean cpu utilization, mean memory utilization) over powered machines.
     utilization_timeline: list[tuple[float, float, float]] = field(default_factory=list)
+    #: Machine crash/repair episodes (resilience reporting).
+    failure_events: list[MachineFailure] = field(default_factory=list)
+    #: Fault-driven task kill/restart episodes.
+    restart_events: list[TaskRestart] = field(default_factory=list)
+    #: Per-tick fleet health samples.
+    fault_timeline: list[FaultSample] = field(default_factory=list)
+    #: machine_id -> open failure episode awaiting recovery.
+    _open_failures: dict[int, MachineFailure] = field(default_factory=dict, repr=False)
+    #: task uid -> open restart episode awaiting re-placement.
+    _open_restarts: dict[tuple[int, int], TaskRestart] = field(
+        default_factory=dict, repr=False
+    )
 
     # --------------------------------------------------------------- events
 
@@ -64,9 +107,42 @@ class SimulationMetrics:
         record.schedule_time = time
         record.class_id = class_id
         record.platform_id = platform_id
+        if self._open_restarts:
+            restart = self._open_restarts.pop(task.uid, None)
+            if restart is not None:
+                restart.reschedule_time = time
 
     def task_finished(self, task: Task, time: float) -> None:
         self.records[task.uid].finish_time = time
+
+    def task_killed(self, task: Task, time: float) -> None:
+        """A fault killed a running task; it re-enters the pending queue."""
+        restart = TaskRestart(uid=task.uid, kill_time=time)
+        self.restart_events.append(restart)
+        self._open_restarts[task.uid] = restart
+
+    def machine_failed(self, machine_id: int, time: float) -> None:
+        episode = MachineFailure(machine_id=machine_id, fail_time=time)
+        self.failure_events.append(episode)
+        self._open_failures[machine_id] = episode
+
+    def machine_recovered(self, machine_id: int, time: float) -> None:
+        """A previously failed machine is back in service (no-op otherwise)."""
+        episode = self._open_failures.pop(machine_id, None)
+        if episode is not None:
+            episode.recover_time = time
+
+    def fault_sample(
+        self,
+        time: float,
+        failed_machines: int,
+        total_machines: int,
+        degraded_machines: int = 0,
+        blackout: bool = False,
+    ) -> None:
+        self.fault_timeline.append(
+            FaultSample(time, failed_machines, total_machines, degraded_machines, blackout)
+        )
 
     # -------------------------------------------------------------- queries
 
@@ -143,6 +219,75 @@ class SimulationMetrics:
         times = np.array([t for t, _, _ in self.machine_timeline])
         powered = np.array([p for _, p, _ in self.machine_timeline])
         return times, powered
+
+    # -------------------------------------------------- resilience queries
+
+    def availability(self) -> float:
+        """Mean fraction of the fleet not under repair, over the run.
+
+        1.0 when no fault samples were recorded (fault-free run).
+        """
+        if not self.fault_timeline:
+            return 1.0
+        fractions = [
+            1.0 - sample.failed_machines / sample.total_machines
+            for sample in self.fault_timeline
+            if sample.total_machines > 0
+        ]
+        return float(np.mean(fractions)) if fractions else 1.0
+
+    def mttr(self, censor_at: float | None = None) -> float:
+        """Mean time from machine crash to its return to service (seconds).
+
+        Machines still down at the end contribute a censored episode of
+        ``censor_at - fail_time`` when ``censor_at`` (typically the
+        horizon) is given, and are skipped otherwise.  0.0 with no
+        failures.
+        """
+        durations: list[float] = []
+        for episode in self.failure_events:
+            if episode.recover_time is not None:
+                durations.append(episode.recover_time - episode.fail_time)
+            elif censor_at is not None:
+                durations.append(max(censor_at - episode.fail_time, 0.0))
+        return float(np.mean(durations)) if durations else 0.0
+
+    def mean_restart_latency(self, censor_at: float | None = None) -> float:
+        """Mean time a fault-killed task waited to be re-placed (seconds)."""
+        latencies: list[float] = []
+        for restart in self.restart_events:
+            if restart.reschedule_time is not None:
+                latencies.append(restart.reschedule_time - restart.kill_time)
+            elif censor_at is not None:
+                latencies.append(max(censor_at - restart.kill_time, 0.0))
+        return float(np.mean(latencies)) if latencies else 0.0
+
+    def slo_attainment(
+        self,
+        bound_seconds: float,
+        group: PriorityGroup | None = None,
+        include_unscheduled_at: float | None = None,
+    ) -> float:
+        """Fraction of tasks scheduled within ``bound_seconds`` of submit.
+
+        Unscheduled tasks count as violations (censored at
+        ``include_unscheduled_at`` when given, or unconditionally missed
+        otherwise).  1.0 with no tasks.
+        """
+        hits = total = 0
+        for record in self.records.values():
+            if group is not None and record.group is not group:
+                continue
+            total += 1
+            delay = record.scheduling_delay
+            if delay is None:
+                if include_unscheduled_at is not None:
+                    delay = max(include_unscheduled_at - record.submit_time, 0.0)
+                else:
+                    continue  # still a miss: counted in total only
+            if delay <= bound_seconds:
+                hits += 1
+        return hits / total if total else 1.0
 
     def containers_series(self) -> tuple[np.ndarray, dict[PriorityGroup, np.ndarray]]:
         """(times, per-group container counts) arrays (Fig. 20)."""
