@@ -1,56 +1,34 @@
-"""Ablation: the MPC look-ahead horizon W (Algorithm 1).
+"""Ablation: the MPC look-ahead horizon W (Algorithm 1), via the runner.
 
-Sweeps W on a fixed controller state and measures (a) LP solve time —
-the controller's scalability knob — and (b) how much look-ahead changes
-the first-step decision when a demand surge is forecast (W=1 cannot
-pre-boot machines; W>=2 can).
+Sweeps W on a fixed controller state (one runner scenario per W) and
+measures (a) LP solve time — the controller's scalability knob — and
+(b) how much look-ahead changes the first-step decision when a demand
+surge is forecast (W=1 cannot pre-boot machines; W>=2 can).
 """
 
-import time
-
-import numpy as np
-
 from repro.analysis import ascii_table
-from repro.containers import ContainerManager, ContainerManagerConfig
-from repro.energy import constant_price, table2_fleet
-from repro.provisioning import CbsRelaxSolver, build_problem
+from repro.runner import ScenarioRunner, horizon_scenarios
 
 
-def test_horizon_sweep(benchmark, bench_classifier):
-    fleet = table2_fleet(0.1)
-    manager = ContainerManager(bench_classifier, ContainerManagerConfig())
-    class_ids = sorted(manager.specs)
-    N = len(class_ids)
-    solver = CbsRelaxSolver()
+def test_horizon_sweep(benchmark):
+    runner = ScenarioRunner("ablation_horizon")
+    report = runner.run(horizon_scenarios(), workers=1)
 
-    # A surge at step 2: flat demand then 5x.
-    base = np.full(N, 4.0)
     rows = []
     first_step_machines = {}
     solve_times = {}
-    for W in (1, 2, 4, 8):
-        demand = np.tile(base, (W, 1))
-        if W >= 3:
-            demand[2:] = base * 5.0
-        problem = build_problem(
-            fleet,
-            manager.specs,
-            demand=demand,
-            prices=np.full(W, 0.1),
-            interval_seconds=300.0,
-        )
-        start = time.perf_counter()
-        solution = solver.solve(problem, initial_active=np.zeros(len(fleet)))
-        elapsed = time.perf_counter() - start
-        solve_times[W] = elapsed
-        first_step_machines[W] = float(solution.z[0].sum())
+    for result in report:
+        s = result.summary
+        W = s["W"]
+        solve_times[W] = result.phases["solve"]
+        first_step_machines[W] = s["z_first_step"]
         rows.append(
             [
                 W,
-                f"{elapsed * 1000:.0f} ms",
-                f"{solution.z[0].sum():.1f}",
-                f"{solution.z[-1].sum():.1f}",
-                f"{solution.objective:.2f}",
+                f"{solve_times[W] * 1000:.0f} ms",
+                f"{s['z_first_step']:.1f}",
+                f"{s['z_last_step']:.1f}",
+                f"{s['objective']:.2f}",
             ]
         )
 
@@ -60,6 +38,8 @@ def test_horizon_sweep(benchmark, bench_classifier):
     # Solve time grows with W but stays interactive (well under a second
     # at the paper's scale of ~80 classes x 4 machine types).
     assert solve_times[8] < 30.0
-    benchmark.pedantic(lambda: solver.solve(problem), rounds=1, iterations=1)
+    benchmark.pedantic(
+        lambda: runner.run(horizon_scenarios()[-1:], workers=1), rounds=1, iterations=1
+    )
     # With look-ahead covering the surge, the final-step plan is larger.
     assert first_step_machines[1] > 0

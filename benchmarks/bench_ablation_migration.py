@@ -1,17 +1,18 @@
 """Ablation: container reassignment (migration) for consolidation.
 
 Algorithm 1 migrates containers off surplus machines so they can power
-down.  This bench builds fragmented machine states (random partial loads),
-runs the consolidation planner, and reports how many machines migration
-releases versus a no-migration policy — the energy those machines would
-otherwise burn is the value of the mechanism.
+down.  The fragmented-fleet trials run as a runner scenario (seeded, so
+serial and parallel runs agree bit-for-bit); the report shows how many
+machines migration releases versus a no-migration policy — the energy
+those machines would otherwise burn is the value of the mechanism.
 """
 
 import numpy as np
 
 from repro.analysis import ascii_table
-from repro.provisioning import consolidation_savings, plan_consolidation
+from repro.provisioning import plan_consolidation
 from repro.provisioning.rounding import MachineAssignment
+from repro.runner import ScenarioRunner, consolidation_scenarios
 
 
 def fragmented_state(rng, num_machines=20, mean_load=0.35):
@@ -38,36 +39,21 @@ def fragmented_state(rng, num_machines=20, mean_load=0.35):
 
 
 def test_migration_consolidation(benchmark):
-    rng = np.random.default_rng(11)
-    rows = []
-    total_released = 0
-    for trial in range(10):
-        machines, sizes = fragmented_state(rng)
-        used = sum(m.used[0] for m in machines)
-        # Ideal machine count at 90% packing efficiency.
-        target = max(int(np.ceil(used / 0.9)), 1)
-        plan, net = consolidation_savings(
-            machines, sizes, target_active=target,
-            idle_watts=138.0, horizon_seconds=3600.0,
-            price_per_kwh=0.10, migration_cost=0.001,
-        )
-        total_released += len(plan.released_machines)
-        if trial < 5:
-            rows.append(
-                [trial, len(machines), target, len(plan.released_machines),
-                 plan.num_moves, f"{net:+.4f}"]
-            )
+    runner = ScenarioRunner("ablation_migration")
+    report = runner.run(consolidation_scenarios(), workers=1)
+    s = report["consolidation_frag"].summary
 
     print("\n=== Ablation: consolidation via container migration ===")
     print(
         ascii_table(
-            ["trial", "machines", "target", "released", "moves", "net $ (1 h)"],
-            rows,
+            ["trials", "released", "moves", "net $ (1 h)"],
+            [[s["trials"], s["released"], s["moves"], f"{s['net_dollars']:+.4f}"]],
         )
     )
-    print(f"total released across 10 trials: {total_released}")
+    print(f"total released across {s['trials']} trials: {s['released']}")
     # Migration must release a meaningful share of fragmented machines.
-    assert total_released >= 30
+    assert s["released"] >= 30
+    assert s["moves"] > 0
 
     machines, sizes = fragmented_state(np.random.default_rng(5))
     benchmark(plan_consolidation, machines, sizes, 8)

@@ -1,55 +1,37 @@
-"""Ablation: the over-provisioning factor omega (Eq. 17).
+"""Ablation: the over-provisioning factor omega (Eq. 17), via the runner.
 
 The paper suggests sampling omega in [1, 2|R|] to compensate bin-packing
-inefficiency.  We sweep omega on a fixed CBS instance and report machines
-provisioned, containers actually placed by the rounder, and the resulting
-placement ratio — showing the trade-off the paper describes (larger omega
-buys placement headroom at the cost of extra machines, with diminishing
-returns).
+inefficiency.  We sweep omega on a fixed CBS instance (one runner scenario
+per omega) and report machines provisioned, containers actually placed by
+the rounder, and the resulting placement ratio — showing the trade-off the
+paper describes (larger omega buys placement headroom at the cost of extra
+machines, with diminishing returns).
 """
 
-import numpy as np
-
 from repro.analysis import ascii_table
-from repro.containers import ContainerManager, ContainerManagerConfig
-from repro.energy import table2_fleet
-from repro.provisioning import CbsRelaxSolver, FirstFitRounder, build_problem
+from repro.runner import ScenarioRunner, omega_scenarios
 
 
-def test_omega_sweep(benchmark, bench_classifier):
-    fleet = table2_fleet(0.1)
-    manager = ContainerManager(bench_classifier, ContainerManagerConfig())
-    class_ids = sorted(manager.specs)
-    rng = np.random.default_rng(5)
-    demand = np.maximum(rng.poisson(8.0, size=(1, len(class_ids))).astype(float), 0)
+def test_omega_sweep(benchmark):
+    runner = ScenarioRunner("ablation_omega")
+    report = runner.run(omega_scenarios(), workers=1)
 
-    solver = CbsRelaxSolver()
-    rounder = FirstFitRounder()
     rows = []
     ratios = {}
     machines = {}
-    for omega in (1.0, 1.25, 1.5, 2.0, 3.0, 4.0):
-        problem = build_problem(
-            fleet,
-            manager.specs,
-            demand=demand,
-            prices=np.array([0.1]),
-            interval_seconds=300.0,
-            overprovision=np.full(len(class_ids), omega),
-        )
-        solution = solver.solve(problem)
-        plan = rounder.round(problem, solution)
-        ratio = plan.placement_ratio(solution.scheduled(0))
-        ratios[omega] = ratio
-        machines[omega] = int(plan.active.sum())
+    for result in report:
+        s = result.summary
+        omega = s["omega"]
+        ratios[omega] = s["placement_ratio"]
+        machines[omega] = s["machines"]
         rows.append(
             [
                 omega,
-                f"{solution.z[0].sum():.1f}",
-                int(plan.active.sum()),
-                int(plan.total_packed().sum()),
-                int(plan.dropped.sum()),
-                f"{ratio:.1%}",
+                f"{s['z_fractional']:.1f}",
+                s["machines"],
+                s["placed"],
+                s["dropped"],
+                f"{s['placement_ratio']:.1%}",
             ]
         )
 
@@ -61,7 +43,9 @@ def test_omega_sweep(benchmark, bench_classifier):
         )
     )
 
-    benchmark.pedantic(lambda: rounder.round(problem, solution), rounds=1, iterations=1)
+    benchmark.pedantic(
+        lambda: runner.run(omega_scenarios()[:1], workers=1), rounds=1, iterations=1
+    )
     print(
         "note: large omega inflates the effective container footprint until "
         "scheduling stops paying for itself — the optimizer then sheds work "

@@ -1,55 +1,37 @@
-"""Ablation: the arrival-rate predictor (Section VI).
+"""Ablation: the arrival-rate predictor (Section VI), via the runner.
 
 Compares the paper's ARIMA against naive / moving-average / EWMA / Holt
 baselines with rolling-origin one-step forecasts on the real per-group
-arrival series of the shared trace.
+arrival series of the shared trace — one runner scenario per predictor,
+from the canonical :data:`repro.runner.suites.PREDICTOR_GRID`.
 """
 
-import numpy as np
-
 from repro.analysis import ascii_table
-from repro.forecasting import make_predictor, rolling_origin_evaluation
-from repro.trace import PriorityGroup, bin_arrivals
+from repro.runner import ScenarioRunner, predictor_scenarios
 
 
-def test_predictor_ablation(benchmark, bench_trace):
-    series = bin_arrivals(bench_trace.tasks, bench_trace.horizon, 300.0)
-    predictors = {
-        "naive": lambda: make_predictor("naive"),
-        "moving_average": lambda: make_predictor("moving_average", window=6),
-        "ewma": lambda: make_predictor("ewma", alpha=0.3),
-        "holt": lambda: make_predictor("holt"),
-        "arima(2,0,1)": lambda: make_predictor("arima", order=(2, 0, 1), window=48),
-        # 288 bins of 300 s = the 24 h diurnal period of the trace.
-        "seasonal_ewma": lambda: make_predictor("seasonal_ewma", period=288),
-    }
+def test_predictor_ablation(benchmark):
+    runner = ScenarioRunner("ablation_predictor")
+    report = runner.run(predictor_scenarios(), workers=1)
 
     rows = []
-    scores = {}
-    for group in PriorityGroup:
-        counts = series.counts.get(group)
-        if counts is None or counts.sum() < 10:
-            continue
-        for name, factory in predictors.items():
-            score = rolling_origin_evaluation(counts, factory, warmup=12)
-            scores.setdefault(name, []).append(score.rmse)
+    mean_rmse = {}
+    for result in report:
+        s = result.summary
+        label = result.name.removeprefix("predictor_")
+        mean_rmse[label] = s["mean_rmse"]
+        for group, score in s["by_group"].items():
             rows.append(
-                [group.name.lower(), name, f"{score.mae:.2f}", f"{score.rmse:.2f}"]
+                [group, label, f"{score['mae']:.2f}", f"{score['rmse']:.2f}"]
             )
 
     print("\n=== Ablation: arrival predictors (one-step rolling origin) ===")
     print(ascii_table(["group", "predictor", "MAE", "RMSE"], rows))
-    mean_rmse = {name: float(np.mean(v)) for name, v in scores.items()}
     print("mean RMSE:", {k: round(v, 2) for k, v in mean_rmse.items()})
 
     # ARIMA must be competitive: within 25% of the best baseline.
     best_baseline = min(v for k, v in mean_rmse.items() if "arima" not in k)
     assert mean_rmse["arima(2,0,1)"] <= best_baseline * 1.25
 
-    counts = series.counts[PriorityGroup.OTHER]
-    benchmark(
-        rolling_origin_evaluation,
-        counts,
-        predictors["arima(2,0,1)"],
-        12,
-    )
+    arima = [s for s in predictor_scenarios() if "arima" in s.name]
+    benchmark.pedantic(lambda: runner.run(arima, workers=1), rounds=1, iterations=1)

@@ -1,39 +1,35 @@
-"""Ablation: priority preemption in the simulated scheduler.
+"""Ablation: priority preemption in the simulated scheduler, via the runner.
 
 The trace's priority semantics ("task priorities can ensure that high
 priority tasks are scheduled earlier than low priority tasks", Section III)
-include eviction.  This bench runs CBS with and without preemption and
-reports the production-delay improvement and the gratis-side cost.
+include eviction.  This bench runs CBS with and without preemption (one
+runner scenario each) and reports the production-delay improvement and the
+gratis-side cost.
 """
 
 from repro.analysis import ascii_table
-from repro.simulation import HarmonyConfig, HarmonySimulation
-from repro.trace import PriorityGroup
+from repro.runner import ScenarioRunner, preemption_scenarios
 
 
-def test_preemption_ablation(benchmark, bench_trace, bench_classifier):
-    window = bench_trace.window(0.0, 2 * 3600.0)
+def test_preemption_ablation(benchmark):
+    runner = ScenarioRunner("ablation_preemption")
+    report = runner.run(preemption_scenarios(), workers=1)
+
     rows = []
     outcomes = {}
-    for preemption in (False, True):
-        config = HarmonyConfig(
-            policy="cbs", predictor="ewma", enable_preemption=preemption
-        )
-        result = HarmonySimulation(config, window, classifier=bench_classifier).run()
-        production_p95 = result.metrics.delay_percentile(
-            95, PriorityGroup.PRODUCTION, include_unscheduled_at=window.horizon
-        )
-        gratis_mean = result.metrics.mean_delay(
-            PriorityGroup.GRATIS, include_unscheduled_at=window.horizon
-        )
-        outcomes[preemption] = (production_p95, gratis_mean)
+    for result in report:
+        s = result.summary
+        flag = result.name.endswith("_on")
+        production_p95 = s["delay_by_group"]["production"]["p95_s"]
+        gratis_mean = s["delay_by_group"]["gratis"]["mean_s"]
+        outcomes[flag] = (production_p95, gratis_mean)
         rows.append(
             [
-                "on" if preemption else "off",
+                "on" if flag else "off",
                 f"{production_p95:.0f}s",
                 f"{gratis_mean:.0f}s",
-                result.metrics.num_unscheduled,
-                f"{result.energy_kwh:.1f}",
+                s["tasks_unscheduled"],
+                f"{s['energy_kwh']:.1f}",
             ]
         )
 

@@ -4,43 +4,30 @@ The paper's core tension: "turning off a large number of machines can
 achieve high energy savings [but] reduces service capacity and hence leads
 to high scheduling delay".  In HARMONY the dial is the per-class delay SLO
 (Eqs. 1-2 invert it into container counts).  Sweeping a multiplier on the
-group SLOs shows energy falling and delay rising as targets loosen.
+group SLOs — one runner scenario per multiplier — shows energy falling and
+delay rising as targets loosen.
 """
 
 from repro.analysis import ascii_table
-from repro.containers import ContainerManagerConfig
-from repro.containers.manager import default_delay_slos
-from repro.simulation import HarmonyConfig, HarmonySimulation
+from repro.runner import ScenarioRunner, slo_scenarios
 
 
-def test_slo_energy_delay_tradeoff(benchmark, bench_trace, bench_classifier):
-    window = bench_trace.window(0.0, 2 * 3600.0)
+def test_slo_energy_delay_tradeoff(benchmark):
+    runner = ScenarioRunner("ablation_slo")
+    report = runner.run(slo_scenarios(), workers=1)
+
     rows = []
     outcomes = {}
-    base = HarmonyConfig()
-    ladders = (
-        tuple(sorted({m.cpu_capacity for m in base.fleet})),
-        tuple(sorted({m.memory_capacity for m in base.fleet})),
-    )
-    for multiplier in (0.25, 1.0, 4.0):
-        slos = {g: s * multiplier for g, s in default_delay_slos().items()}
-        config = HarmonyConfig(
-            policy="cbs",
-            predictor="ewma",
-            manager=ContainerManagerConfig(
-                delay_slos=slos, capacity_ladders=ladders
-            ),
-        )
-        result = HarmonySimulation(config, window, classifier=bench_classifier).run()
-        mean_delay = result.metrics.mean_delay(include_unscheduled_at=window.horizon)
-        outcomes[multiplier] = (result.energy_kwh, mean_delay)
+    for result, multiplier in zip(report, (0.25, 1.0, 4.0)):
+        s = result.summary
+        outcomes[multiplier] = (s["energy_kwh"], s["mean_delay_s"])
         rows.append(
             [
                 f"{multiplier}x",
-                f"{result.energy_kwh:.1f}",
-                f"{result.metrics.mean_active_machines():.1f}",
-                f"{mean_delay:.0f}s",
-                result.metrics.num_unscheduled,
+                f"{s['energy_kwh']:.1f}",
+                f"{s['mean_active_machines']:.1f}",
+                f"{s['mean_delay_s']:.0f}s",
+                s["tasks_unscheduled"],
             ]
         )
 

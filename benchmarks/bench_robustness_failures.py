@@ -1,10 +1,12 @@
-"""Robustness: HARMONY under injected faults, guarded vs raw.
+"""Robustness: HARMONY under injected faults, guarded vs raw, via the runner.
 
 The monitoring module of Fig. 8 "reports any failures and anomalies"; this
-bench drives the resilience subsystem end to end: independent Poisson
-crashes (the legacy knob), a scripted correlated outage killing 30% of the
-largest pool mid-run, and a monitoring blackout — all under the guarded
-CBS controller — and checks the architecture's graceful-degradation claim:
+bench drives the resilience subsystem end to end through the shared
+:class:`~repro.runner.ScenarioRunner`: the canonical fault matrix (clean /
+correlated outage / monitoring blackout, from
+:mod:`repro.resilience.scenarios`) replayed under the guarded CBS
+controller, plus the legacy Poisson knob through the public ``prepare()``
+seam — and checks the architecture's graceful-degradation claim:
 
 - the guarded controller finishes the outage trace with >= 85% of the
   fault-free scheduled count;
@@ -13,55 +15,46 @@ CBS controller — and checks the architecture's graceful-degradation claim:
 """
 
 import math
-from dataclasses import replace
+import os
 
 from repro.analysis import ascii_table
-from repro.resilience import CorrelatedOutage, FaultPlan, MonitoringBlackout
+from repro.runner import ScenarioRunner, repo_root, robustness_scenarios, write_baseline
 from repro.simulation import ClusterConfig, ClusterSimulator, HarmonyConfig, HarmonySimulation
+
+#: Workers for the fault matrix; 1 on small boxes (spawn import overhead
+#: would dominate three ~2 h-window simulations).
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "2" if (os.cpu_count() or 1) >= 2 else "1"))
+
+
+def _resilience_row(name, summary):
+    res = summary["resilience"]
+    return [
+        name,
+        res["machines_failed"],
+        summary["tasks_killed"],
+        summary["tasks_scheduled"],
+        f"{res['availability']:.3f}",
+        f"{res['mttr_s']:.0f}s",
+        f"{res['mean_restart_latency_s']:.0f}s",
+        f"{res['slo_attainment_5m']:.3f}",
+        res["breaker_trips"],
+        res["invalid_decisions"],
+    ]
 
 
 def test_cbs_under_failures(benchmark, bench_trace, bench_classifier):
-    window = bench_trace.window(0.0, min(2 * 3600.0, bench_trace.horizon))
-    base = HarmonyConfig(policy="cbs", predictor="ewma", guard=True)
-    biggest_pool = max(base.fleet, key=lambda m: m.count)
+    runner = ScenarioRunner("robustness")
+    scenarios = robustness_scenarios()
+    report = runner.run(scenarios, workers=WORKERS)
+    summaries = {r.name.removeprefix("fault_"): r.summary for r in report}
 
-    scenarios = {
-        "clean": None,
-        # A site-wide power-domain event: 30% of every pool (its busiest
-        # machines first) crashes at once mid-run.
-        "outage": FaultPlan(seed=1).with_fault(
-            CorrelatedOutage(time=window.horizon / 2, fraction=0.3)
-        ),
-        "blackout": FaultPlan(seed=1).with_fault(
-            MonitoringBlackout(time=window.horizon / 3, intervals=3)
-        ),
-    }
-
-    rows = []
-    results = {}
-    for name, plan in scenarios.items():
-        config = replace(base, fault_plan=plan)
-        simulation = HarmonySimulation(config, window, classifier=bench_classifier)
-        result = simulation.run()
-        results[name] = result
-        metrics = result.metrics
-        rows.append(
-            [
-                name,
-                len(metrics.failure_events),
-                result.tasks_killed,
-                metrics.num_scheduled,
-                f"{metrics.availability():.3f}",
-                f"{metrics.mttr(censor_at=window.horizon):.0f}s",
-                f"{metrics.mean_restart_latency(censor_at=window.horizon):.0f}s",
-                f"{metrics.slo_attainment(300.0, include_unscheduled_at=window.horizon):.3f}",
-                result.guard_stats.trips,
-                result.guard_stats.invalid_decisions,
-            ]
-        )
+    rows = [_resilience_row(name, summary) for name, summary in summaries.items()]
 
     # The legacy Poisson knob still drives the same machinery, through the
     # public prepare() accessor and a custom ClusterConfig.
+    window = bench_trace.window(0.0, min(2 * 3600.0, bench_trace.horizon))
+    base = HarmonyConfig(policy="cbs", predictor="ewma", guard=True)
+    biggest_pool = max(base.fleet, key=lambda m: m.count)
     simulation = HarmonySimulation(base, window, classifier=bench_classifier)
     tasks, class_of = simulation.prepare()
     simulator = ClusterSimulator(
@@ -103,19 +96,22 @@ def test_cbs_under_failures(benchmark, bench_trace, bench_classifier):
         )
     )
 
-    benchmark.pedantic(lambda: results, rounds=1, iterations=1)
+    path = write_baseline(report, repo_root())
+    print(f"wrote {path}")
 
-    clean, outage = results["clean"], results["outage"]
+    benchmark.pedantic(lambda: summaries, rounds=1, iterations=1)
+
+    clean, outage = summaries["clean"], summaries["outage"]
     # The outage really took out >= 25% of one pool...
-    assert len(outage.metrics.failure_events) >= math.ceil(0.25 * biggest_pool.count)
-    assert outage.tasks_killed > 0
+    assert outage["resilience"]["machines_failed"] >= math.ceil(0.25 * biggest_pool.count)
+    assert outage["tasks_killed"] > 0
     # ...and the guarded controller absorbed it: scheduled count stays
     # within 85% of the fault-free run, with no invalid decision emitted.
-    assert outage.metrics.num_scheduled >= 0.85 * clean.metrics.num_scheduled
-    assert outage.guard_stats.invalid_decisions == 0
-    assert outage.metrics.availability() < 1.0
-    assert outage.metrics.mttr(censor_at=window.horizon) > 0.0
+    assert outage["tasks_scheduled"] >= 0.85 * clean["tasks_scheduled"]
+    assert outage["resilience"]["invalid_decisions"] == 0
+    assert outage["resilience"]["availability"] < 1.0
+    assert outage["resilience"]["mttr_s"] > 0.0
     # The Poisson preset still crashes machines (kills depend on whether the
     # random victims were busy, so the outage above owns that assertion).
     assert len(poisson_metrics.failure_events) > 0
-    assert poisson_metrics.num_scheduled >= 0.9 * clean.metrics.num_scheduled
+    assert poisson_metrics.num_scheduled >= 0.9 * clean["tasks_scheduled"]

@@ -1,82 +1,90 @@
-"""Scalability: CBS-RELAX solve time vs problem size.
+"""Scalability: CBS-RELAX solve time vs problem size, via the runner.
 
 Section VII-B motivates the relaxation: the integer CBS has "at least 800K
 variables" at 80 task classes x 10K machines and "cannot be applied ...
-in online settings".  CBS-RELAX collapses the per-machine variables to
-per-type aggregates; this bench measures its solve time as classes and
-machine types grow, verifying the online-control claim (sub-second solves
-at the paper's scale of ~80 classes x a handful of machine types).
+in online settings".  This bench fans the multi-size solve sweep out
+through :class:`~repro.runner.ScenarioRunner`:
+
+- serial and 4-worker runs must produce **bit-identical** per-scenario
+  summaries (every scenario seeds its own randomness);
+- the paper-scale 80-class instance must stay interactive (the online
+  control claim);
+- on hardware with >= 4 usable cores, the 4-worker run must be >= 2x
+  faster than serial;
+- the run is recorded as a ``BENCH_scalability.json`` perf baseline at the
+  repo root — the repo's perf trajectory.
 """
 
-import time
-
-import numpy as np
+import os
 
 from repro.analysis import ascii_table
-from repro.provisioning import (
-    CbsRelaxSolver,
-    ContainerType,
-    MachineClass,
-    ProvisioningProblem,
-    UtilityFunction,
-)
+from repro.runner import ScenarioRunner, repo_root, scalability_scenarios, write_baseline
 
-
-def synthetic_problem(num_classes, num_machine_types, W=4, seed=0):
-    rng = np.random.default_rng(seed)
-    machines = tuple(
-        MachineClass(
-            platform_id=m + 1,
-            name=f"type{m}",
-            capacity=(float(rng.uniform(0.2, 1.0)), float(rng.uniform(0.2, 1.0))),
-            available=int(rng.integers(100, 2000)),
-            idle_watts=float(rng.uniform(60, 320)),
-            alpha_watts=(float(rng.uniform(30, 250)), float(rng.uniform(5, 60))),
-            switch_cost=0.02,
-        )
-        for m in range(num_machine_types)
-    )
-    containers = tuple(
-        ContainerType(
-            class_id=n,
-            name=f"c{n}",
-            size=(float(rng.uniform(0.005, 0.15)), float(rng.uniform(0.005, 0.15))),
-            utility=UtilityFunction.capped_linear(0.01, 100_000),
-        )
-        for n in range(num_classes)
-    )
-    demand = rng.uniform(0, 200, size=(W, num_classes))
-    return ProvisioningProblem(
-        machines=machines,
-        containers=containers,
-        demand=demand,
-        prices=np.full(W, 0.1),
-        interval_seconds=300.0,
-    )
+#: Minimum speedup demanded of the 4-worker run when the hardware can
+#: plausibly deliver it (spawn workers burn ~1-2 s importing numpy/scipy,
+#: so single- and dual-core boxes are measured but not gated).
+SPEEDUP_FLOOR = 2.0
+WORKERS = 4
 
 
 def test_relax_scales_to_paper_size(benchmark):
-    solver = CbsRelaxSolver()
-    rows = []
-    timings = {}
-    for num_classes, num_types in ((20, 4), (80, 4), (80, 10), (160, 10)):
-        problem = synthetic_problem(num_classes, num_types)
-        start = time.perf_counter()
-        solution = solver.solve(problem)
-        elapsed = time.perf_counter() - start
-        timings[(num_classes, num_types)] = elapsed
-        variables = 4 * (num_types + num_types * num_classes + 2 * num_types + num_classes)
-        rows.append(
-            [num_classes, num_types, variables, f"{elapsed * 1000:.0f} ms",
-             f"{solution.objective:.2f}"]
+    runner = ScenarioRunner("scalability")
+    scenarios = scalability_scenarios()
+
+    serial = runner.run(scenarios, workers=1)
+    parallel = runner.run(scenarios, workers=WORKERS)
+
+    rows = [
+        [
+            r.name,
+            r.summary["num_classes"],
+            r.summary["num_types"],
+            r.summary["lp_variables"],
+            f"{r.wall_seconds:.3f}s",
+            f"{parallel[r.name].wall_seconds:.3f}s",
+        ]
+        for r in serial
+    ]
+    speedup = (
+        serial.total_wall_seconds / parallel.total_wall_seconds
+        if parallel.total_wall_seconds > 0
+        else 0.0
+    )
+    print("\n=== CBS-RELAX scalability sweep (serial vs parallel runner) ===")
+    print(
+        ascii_table(
+            ["scenario", "classes", "machine types", "~LP vars",
+             "serial wall", f"{WORKERS}-worker wall"],
+            rows,
+        )
+    )
+    print(
+        f"serial total {serial.total_wall_seconds:.2f}s, "
+        f"{WORKERS}-worker total {parallel.total_wall_seconds:.2f}s, "
+        f"speedup {speedup:.2f}x on {os.cpu_count()} core(s)"
+    )
+
+    # Determinism: parallel summaries are byte-identical to serial.
+    assert serial.digests() == parallel.digests()
+
+    # The paper's online-control claim: the 80-class x 10-type scenarios
+    # solve fast (per-solve budget mirrors the pre-runner assertion).
+    for r in serial:
+        if r.summary["num_classes"] == 80 and r.summary["num_types"] == 10:
+            assert r.wall_seconds / r.summary["repeats"] < 10.0
+
+    # Perf baseline: the repo's recorded perf trajectory.
+    path = write_baseline(parallel, repo_root(), compare_serial=serial)
+    print(f"wrote {path}")
+
+    # The >= 2x acceptance gate, where the hardware can deliver it.
+    cores = os.cpu_count() or 1
+    if cores >= WORKERS:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"{WORKERS}-worker sweep only {speedup:.2f}x faster than serial "
+            f"on {cores} cores (floor {SPEEDUP_FLOOR}x)"
         )
 
-    print("\n=== CBS-RELAX scalability (W=4) ===")
-    print(ascii_table(["classes", "machine types", "~LP vars", "solve", "objective"], rows))
-
-    # The paper's online-control claim: the 80-class instance solves fast.
-    assert timings[(80, 10)] < 10.0
-
     benchmark.pedantic(
-        lambda: solver.solve(synthetic_problem(80, 10)), rounds=1, iterations=1
+        lambda: runner.run(scenarios[:1], workers=1), rounds=1, iterations=1
     )

@@ -3,30 +3,28 @@
 The expensive artifacts — the evaluation trace, the fitted classifier and
 the three-policy comparison run — are built once per session and shared by
 every bench that reads from them (Figs. 19-26).
+
+Default scenario parameters come from :mod:`repro.runner.defaults`, the
+same module the scenario runner's suites read — benches and runner
+scenarios cannot drift apart.  CI smoke runs shrink everything through the
+``REPRO_BENCH_*`` environment knobs (e.g. ``REPRO_BENCH_HOURS=0.5``); see
+EXPERIMENTS.md for the laptop-scale operating-point discussion.
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
 from repro.classification import ClassifierConfig, TaskClassifier
-from repro.energy import table2_fleet
+from repro.runner.defaults import bench_defaults, trace_config_from_params
 from repro.simulation import HarmonyConfig, run_policy_comparison
-from repro.trace import SyntheticTraceConfig, generate_trace
+from repro.trace import generate_trace
 
-#: One knob for the evaluation scale.  The policy comparison needs enough
-#: horizon and load for the baseline's shape-blindness to matter without
-#: saturating the scaled-down fleet's memory; 4 h at load 0.6 is the
-#: laptop-scale operating point (see EXPERIMENTS.md for the sensitivity
-#: discussion).
-#: CI smoke runs shrink the trace via the environment (e.g. 0.5 h) without
-#: touching the default laptop-scale evaluation point.
-BENCH_HOURS = float(os.environ.get("REPRO_BENCH_HOURS", 4.0))
-BENCH_MACHINES = int(os.environ.get("REPRO_BENCH_MACHINES", 400))
-BENCH_SEED = 7
-BENCH_LOAD = 0.5
+_DEFAULTS = bench_defaults()
+BENCH_HOURS = _DEFAULTS.hours
+BENCH_MACHINES = _DEFAULTS.machines
+BENCH_SEED = _DEFAULTS.seed
+BENCH_LOAD = _DEFAULTS.load
 
 
 @pytest.fixture(scope="session")
@@ -35,18 +33,13 @@ def bench_trace():
 
     Placement constraints are drawn against the Table II fleet the
     simulation benches use, so the Section III-B "difficult to schedule"
-    tasks stay meaningful at replay time.
+    tasks stay meaningful at replay time.  Built through the same
+    parameter decoding the runner's scenario tasks use, so a ``simulate``
+    scenario with ``constraints: true`` replays the identical trace.
     """
-    fleet_types = tuple(m.to_machine_type() for m in table2_fleet(0.1))
-    return generate_trace(
-        SyntheticTraceConfig(
-            horizon_hours=BENCH_HOURS,
-            seed=BENCH_SEED,
-            total_machines=BENCH_MACHINES,
-            load_factor=BENCH_LOAD,
-            constraint_platforms=fleet_types,
-        )
-    )
+    params = _DEFAULTS.trace_params()
+    params["constraints"] = True
+    return generate_trace(trace_config_from_params(params))
 
 
 @pytest.fixture(scope="session")

@@ -16,6 +16,10 @@ resilience
     Replay a fault-scenario matrix (outage / stragglers / blackout /
     poisson) under a guarded or unguarded policy and print availability,
     MTTR, restart latency and SLO attainment per scenario.
+bench
+    Run a scenario suite (scalability / ablation / robustness) through
+    the parallel :class:`~repro.runner.ScenarioRunner` and write a
+    ``BENCH_<suite>.json`` perf baseline.
 """
 
 from __future__ import annotations
@@ -27,6 +31,8 @@ from pathlib import Path
 
 from repro.analysis import ascii_table
 from repro.classification import ClassifierConfig, TaskClassifier
+from repro.resilience.scenarios import SCENARIOS as RESILIENCE_SCENARIOS
+from repro.resilience.scenarios import build_scenario_plan
 from repro.simulation import HarmonyConfig, HarmonySimulation, run_policy_comparison
 from repro.simulation.harmony import POLICIES, energy_savings
 from repro.trace import (
@@ -141,37 +147,6 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-#: Scenario name -> fault-plan builder over (horizon_s, control_interval_s).
-RESILIENCE_SCENARIOS = ("clean", "outage", "stragglers", "blackout", "poisson")
-
-
-def _resilience_plan(scenario: str, horizon: float, interval: float):
-    from repro.resilience import (
-        CorrelatedOutage,
-        FaultPlan,
-        MachineDegradation,
-        MonitoringBlackout,
-        RandomMachineFailures,
-    )
-
-    plan = FaultPlan(seed=0)
-    if scenario == "clean":
-        return None
-    if scenario == "outage":
-        return plan.with_fault(CorrelatedOutage(time=horizon / 2, fraction=0.3))
-    if scenario == "stragglers":
-        return plan.with_fault(
-            MachineDegradation(
-                time=horizon / 3, duration=horizon / 3, fraction=0.25, slowdown=2.5
-            )
-        )
-    if scenario == "blackout":
-        return plan.with_fault(MonitoringBlackout(time=horizon / 3, intervals=3))
-    if scenario == "poisson":
-        return plan.with_fault(RandomMachineFailures(rate_per_machine_hour=0.05))
-    raise ValueError(f"unknown scenario {scenario!r}")
-
-
 def cmd_resilience(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
@@ -183,7 +158,7 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     simulation = HarmonySimulation(base, trace)
     rows = []
     for scenario in scenarios:
-        plan = _resilience_plan(scenario, trace.horizon, base.control_interval)
+        plan = build_scenario_plan(scenario, trace.horizon)
         config = replace(base, fault_plan=plan)
         result = HarmonySimulation(
             config, trace, classifier=simulation.classifier
@@ -213,6 +188,60 @@ def cmd_resilience(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.runner import (
+        SUITES,
+        BenchDefaults,
+        ScenarioRunner,
+        bench_defaults,
+        write_baseline,
+    )
+
+    env = bench_defaults()
+    defaults = BenchDefaults(
+        hours=args.hours if args.hours is not None else env.hours,
+        machines=args.machines if args.machines is not None else env.machines,
+        seed=args.seed if args.seed is not None else env.seed,
+        load=args.load if args.load is not None else env.load,
+    )
+    suites = sorted(SUITES) if args.suite == "all" else [args.suite]
+    exit_code = 0
+    for suite in suites:
+        scenarios = SUITES[suite](defaults)
+        runner = ScenarioRunner(suite)
+        serial = None
+        if args.verify:
+            serial, report = runner.verify_determinism(
+                scenarios, workers=args.workers
+            )
+        else:
+            report = runner.run(scenarios, workers=args.workers)
+        rows = [
+            [
+                r.name,
+                r.scenario.task,
+                f"{r.wall_seconds:.3f}s",
+                ", ".join(f"{k}={v:.3f}s" for k, v in sorted(r.phases.items())),
+            ]
+            for r in report
+        ]
+        rows.append(
+            ["TOTAL", "-", f"{report.total_wall_seconds:.3f}s",
+             f"{report.tasks_per_second():.0f} tasks/s"]
+        )
+        print(
+            ascii_table(
+                ["scenario", "task", "wall", "phases"],
+                rows,
+                title=f"bench {suite} — {args.workers} worker(s)"
+                      + (" [serial-verified]" if args.verify else ""),
+            )
+        )
+        path = write_baseline(report, args.output, compare_serial=serial)
+        print(f"wrote {path}")
+    return exit_code
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -287,6 +316,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the raw policy without the GuardedController wrapper",
     )
     resilience.set_defaults(fn=cmd_resilience)
+
+    bench = subparsers.add_parser(
+        "bench", help="run a scenario suite via the parallel runner"
+    )
+    bench.add_argument(
+        "suite", choices=("scalability", "ablation", "robustness", "all"),
+        help="which scenario suite to run",
+    )
+    bench.add_argument("--workers", type=int, default=4,
+                       help="worker processes (1 = in-process serial)")
+    bench.add_argument(
+        "--verify", action="store_true",
+        help="also run serially and assert bit-identical summaries",
+    )
+    bench.add_argument("--output", type=Path, default=Path("."),
+                       help="directory for the BENCH_<suite>.json baseline")
+    bench.add_argument("--hours", type=float, default=None,
+                       help="override REPRO_BENCH_HOURS for this run")
+    bench.add_argument("--machines", type=int, default=None,
+                       help="override REPRO_BENCH_MACHINES for this run")
+    bench.add_argument("--seed", type=int, default=None,
+                       help="override REPRO_BENCH_SEED for this run")
+    bench.add_argument("--load", type=float, default=None,
+                       help="override REPRO_BENCH_LOAD for this run")
+    bench.set_defaults(fn=cmd_bench)
 
     report = subparsers.add_parser(
         "report", help="run the evaluation and write a markdown report"

@@ -2,9 +2,11 @@
 
 from repro.queueing.mgn import (
     MGNQueue,
+    clear_queueing_caches,
     erlang_b,
     erlang_c,
     mgn_mean_wait,
+    queueing_cache_info,
     required_containers,
 )
 from repro.queueing.simulate import QueueSimulationResult, simulate_mgn_queue
@@ -15,6 +17,8 @@ __all__ = [
     "erlang_c",
     "mgn_mean_wait",
     "required_containers",
+    "queueing_cache_info",
+    "clear_queueing_caches",
     "QueueSimulationResult",
     "simulate_mgn_queue",
 ]

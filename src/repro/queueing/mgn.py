@@ -23,6 +23,23 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
+
+#: The MPC loop re-evaluates Eqs. 1-3 with the *same* (load, N) pairs at
+#: every tick (the container manager's classes change slowly); memoizing the
+#: O(N) Erlang recurrence and the O(log N)-probe inversion turns the
+#: controller's hot path into dictionary lookups.  Sized generously: a key
+#: is two floats + an int, so even full caches stay in the low MB.
+_ERLANG_CACHE_SIZE = 65_536
+_INVERSE_CACHE_SIZE = 16_384
+
+
+@lru_cache(maxsize=_ERLANG_CACHE_SIZE)
+def _erlang_b_cached(offered_load: float, servers: int) -> float:
+    blocking = 1.0
+    for k in range(1, servers + 1):
+        blocking = offered_load * blocking / (k + offered_load * blocking)
+    return blocking
 
 
 def erlang_b(offered_load: float, servers: int) -> float:
@@ -34,10 +51,7 @@ def erlang_b(offered_load: float, servers: int) -> float:
         raise ValueError(f"offered_load must be >= 0, got {offered_load}")
     if servers < 0:
         raise ValueError(f"servers must be >= 0, got {servers}")
-    blocking = 1.0
-    for k in range(1, servers + 1):
-        blocking = offered_load * blocking / (k + offered_load * blocking)
-    return blocking
+    return _erlang_b_cached(offered_load, servers)
 
 
 def erlang_c(offered_load: float, servers: int) -> float:
@@ -134,6 +148,10 @@ def required_containers(
     loads (> ~2000 Erlangs, where each exact Erlang-C costs O(a)) start
     from the Halfin-Whitt square-root-staffing estimate and walk to the
     exact answer with a handful of O(a) evaluations.
+
+    Results are memoized per exact argument tuple (the inverse-lookup
+    cache): the container manager re-inverts the same (lambda, mu, SLO,
+    CV^2) classes every control tick.
     """
     if target_delay <= 0:
         raise ValueError(f"target_delay must be positive, got {target_delay}")
@@ -143,6 +161,19 @@ def required_containers(
         raise ValueError(f"service_rate must be positive, got {service_rate}")
     if arrival_rate == 0:
         return 0
+    return _required_containers_cached(
+        arrival_rate, service_rate, target_delay, scv, max_servers
+    )
+
+
+@lru_cache(maxsize=_INVERSE_CACHE_SIZE)
+def _required_containers_cached(
+    arrival_rate: float,
+    service_rate: float,
+    target_delay: float,
+    scv: float,
+    max_servers: int,
+) -> int:
     offered = arrival_rate / service_rate
     low = int(math.floor(offered)) + 1  # smallest N with rho < 1
     if low > max_servers:
@@ -216,6 +247,20 @@ def required_containers(
         else:
             low = mid
     return high
+
+
+def queueing_cache_info() -> dict[str, dict[str, int]]:
+    """Hit/miss statistics of the Erlang and inverse-lookup caches."""
+    return {
+        "erlang_b": _erlang_b_cached.cache_info()._asdict(),
+        "required_containers": _required_containers_cached.cache_info()._asdict(),
+    }
+
+
+def clear_queueing_caches() -> None:
+    """Drop both memoization caches (tests and memory-sensitive callers)."""
+    _erlang_b_cached.cache_clear()
+    _required_containers_cached.cache_clear()
 
 
 @dataclass(frozen=True)

@@ -26,8 +26,11 @@ from repro.resilience.faults import (
     RandomMachineFailures,
 )
 from repro.resilience.guard import GuardConfig, GuardedController, GuardStats
+from repro.resilience.scenarios import SCENARIOS, build_scenario_plan
 
 __all__ = [
+    "SCENARIOS",
+    "build_scenario_plan",
     "CorrelatedOutage",
     "FaultInjector",
     "FaultPlan",

@@ -1,0 +1,49 @@
+"""Named fault scenarios shared by the CLI, benches and scenario runner.
+
+One place defines what "outage" or "blackout" means, so ``repro
+resilience``, ``repro bench robustness`` and
+``benchmarks/bench_robustness_failures.py`` replay *the same* fault
+matrix and their numbers stay comparable.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.faults import (
+    CorrelatedOutage,
+    FaultPlan,
+    MachineDegradation,
+    MonitoringBlackout,
+    RandomMachineFailures,
+)
+
+#: The canonical scenario matrix, in reporting order.
+SCENARIOS = ("clean", "outage", "stragglers", "blackout", "poisson")
+
+
+def build_scenario_plan(
+    scenario: str, horizon: float, seed: int = 0
+) -> FaultPlan | None:
+    """The :class:`FaultPlan` for a named scenario over a given horizon.
+
+    Returns ``None`` for the fault-free "clean" scenario.  Fault times are
+    placed relative to ``horizon`` so the same scenario scales from a
+    30-minute CI smoke to a multi-day evaluation trace.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    plan = FaultPlan(seed=seed)
+    if scenario == "clean":
+        return None
+    if scenario == "outage":
+        return plan.with_fault(CorrelatedOutage(time=horizon / 2, fraction=0.3))
+    if scenario == "stragglers":
+        return plan.with_fault(
+            MachineDegradation(
+                time=horizon / 3, duration=horizon / 3, fraction=0.25, slowdown=2.5
+            )
+        )
+    if scenario == "blackout":
+        return plan.with_fault(MonitoringBlackout(time=horizon / 3, intervals=3))
+    if scenario == "poisson":
+        return plan.with_fault(RandomMachineFailures(rate_per_machine_hour=0.05))
+    raise ValueError(f"unknown scenario {scenario!r}; expected one of {SCENARIOS}")

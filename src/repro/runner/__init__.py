@@ -1,0 +1,79 @@
+"""Shared scenario-execution subsystem.
+
+One runner serves the repo's three consumers of "run these independent
+scenario configurations and report":
+
+- the ``bench_*`` pytest benches (``benchmarks/``), which fan their sweeps
+  out across workers and assert on the collected summaries;
+- the ``repro bench`` CLI subcommand, for ad-hoc perf runs;
+- CI, which emits ``BENCH_<suite>.json`` perf baselines from short smokes.
+
+Determinism contract: every task seeds all randomness from its scenario
+params, so per-scenario summaries are bit-identical between serial and
+parallel execution (see :meth:`ScenarioRunner.verify_determinism`).
+"""
+
+from repro.runner.defaults import (
+    BenchDefaults,
+    bench_defaults,
+    bench_hours,
+    bench_load,
+    bench_machines,
+    bench_repeats,
+    bench_seed,
+    trace_config_from_params,
+)
+from repro.runner.runner import (
+    RunnerReport,
+    ScenarioResult,
+    ScenarioRunner,
+    baseline_payload,
+    repo_root,
+    summary_digest,
+    write_baseline,
+)
+from repro.runner.scenario import Scenario, get_task, register_task, registered_tasks
+from repro.runner.suites import (
+    SUITES,
+    ablation_scenarios,
+    consolidation_scenarios,
+    horizon_scenarios,
+    omega_scenarios,
+    predictor_scenarios,
+    preemption_scenarios,
+    robustness_scenarios,
+    scalability_scenarios,
+    slo_scenarios,
+)
+
+__all__ = [
+    "BenchDefaults",
+    "bench_defaults",
+    "bench_hours",
+    "bench_load",
+    "bench_machines",
+    "bench_repeats",
+    "bench_seed",
+    "trace_config_from_params",
+    "RunnerReport",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "baseline_payload",
+    "repo_root",
+    "summary_digest",
+    "write_baseline",
+    "Scenario",
+    "get_task",
+    "register_task",
+    "registered_tasks",
+    "SUITES",
+    "ablation_scenarios",
+    "consolidation_scenarios",
+    "horizon_scenarios",
+    "omega_scenarios",
+    "predictor_scenarios",
+    "preemption_scenarios",
+    "robustness_scenarios",
+    "scalability_scenarios",
+    "slo_scenarios",
+]

@@ -1,0 +1,92 @@
+"""The single source of truth for default bench/scenario parameters.
+
+Both ``benchmarks/conftest.py`` (the pytest figure benches) and the
+scenario suites in :mod:`repro.runner.suites` read these values, so the
+laptop-scale evaluation point cannot drift between the two.  CI shrinks
+everything through the same ``REPRO_BENCH_*`` environment knobs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.trace.generator import SyntheticTraceConfig
+
+
+def bench_hours() -> float:
+    """Evaluation-trace horizon in hours (``REPRO_BENCH_HOURS``)."""
+    return float(os.environ.get("REPRO_BENCH_HOURS", 4.0))
+
+
+def bench_machines() -> int:
+    """Evaluation-fleet size (``REPRO_BENCH_MACHINES``)."""
+    return int(os.environ.get("REPRO_BENCH_MACHINES", 400))
+
+
+def bench_seed() -> int:
+    """Master seed for traces, classifiers and scenario RNGs."""
+    return int(os.environ.get("REPRO_BENCH_SEED", 7))
+
+
+def bench_load() -> float:
+    """Trace load factor (``REPRO_BENCH_LOAD``)."""
+    return float(os.environ.get("REPRO_BENCH_LOAD", 0.5))
+
+
+def bench_repeats() -> int:
+    """Solves per scalability scenario (``REPRO_BENCH_REPEATS``)."""
+    return int(os.environ.get("REPRO_BENCH_REPEATS", 3))
+
+
+@dataclass(frozen=True)
+class BenchDefaults:
+    """One resolved snapshot of the bench parameter environment."""
+
+    hours: float
+    machines: int
+    seed: int
+    load: float
+
+    def trace_params(self) -> dict:
+        """Picklable trace parameters for scenario configs."""
+        return {
+            "hours": self.hours,
+            "seed": self.seed,
+            "machines": self.machines,
+            "load": self.load,
+        }
+
+
+def bench_defaults() -> BenchDefaults:
+    """Resolve the current bench defaults from the environment."""
+    return BenchDefaults(
+        hours=bench_hours(),
+        machines=bench_machines(),
+        seed=bench_seed(),
+        load=bench_load(),
+    )
+
+
+def trace_config_from_params(params: dict) -> SyntheticTraceConfig:
+    """Build the synthetic-trace config a scenario's ``trace`` params name.
+
+    The canonical decoding used by every runner task, so a scenario's
+    result is a pure function of its (picklable) parameter dict.  With
+    ``constraints: true`` the trace draws placement constraints against
+    the Table II fleet, exactly as the figure benches' shared trace does.
+    """
+    constraint_platforms = None
+    if params.get("constraints"):
+        from repro.energy.catalog import table2_fleet
+
+        constraint_platforms = tuple(
+            m.to_machine_type() for m in table2_fleet(0.1)
+        )
+    return SyntheticTraceConfig(
+        horizon_hours=float(params.get("hours", bench_hours())),
+        seed=int(params.get("seed", bench_seed())),
+        total_machines=int(params.get("machines", bench_machines())),
+        load_factor=float(params.get("load", bench_load())),
+        constraint_platforms=constraint_platforms,
+    )

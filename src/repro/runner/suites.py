@@ -1,0 +1,210 @@
+"""Canonical scenario suites.
+
+The pytest benches (``benchmarks/bench_*.py``) and the ``repro bench`` CLI
+both build their scenario lists here, from the shared defaults in
+:mod:`repro.runner.defaults` — one definition of each sweep, everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.runner.defaults import BenchDefaults, bench_defaults, bench_repeats
+from repro.runner.scenario import Scenario
+
+#: Problem sizes of the CBS-RELAX scalability sweep (classes, machine types).
+#: The first four are the paper-scale points; the last two stretch toward
+#: the production-scale regime so the sweep is heavy enough to measure
+#: parallel speedup meaningfully.
+SCALABILITY_SIZES = ((20, 4), (80, 4), (80, 10), (160, 10), (320, 16), (640, 10))
+
+
+def scalability_scenarios(
+    repeats: int | None = None, seeds: tuple[int, ...] = (0, 1)
+) -> list[Scenario]:
+    """The multi-scenario CBS-RELAX sweep (sizes x seeds, repeated solves).
+
+    ``len(SCALABILITY_SIZES) * len(seeds)`` independent scenarios — enough
+    parallel grain for a 4-worker pool to show its speedup, each scenario
+    substantial enough (``repeats`` solves, default ``REPRO_BENCH_REPEATS``)
+    to dwarf process overhead.
+    """
+    if repeats is None:
+        repeats = bench_repeats()
+    return [
+        Scenario(
+            name=f"relax_c{num_classes}_t{num_types}_s{seed}",
+            task="relax_solve",
+            params={
+                "num_classes": num_classes,
+                "num_types": num_types,
+                "W": 4,
+                "seed": seed,
+                "repeats": repeats,
+            },
+        )
+        for num_classes, num_types in SCALABILITY_SIZES
+        for seed in seeds
+    ]
+
+
+def _bench_trace_params(defaults: BenchDefaults | None) -> dict:
+    defaults = defaults or bench_defaults()
+    params = defaults.trace_params()
+    # The figure benches' shared trace draws placement constraints against
+    # the Table II fleet; the runner suites replay the identical trace.
+    params["constraints"] = True
+    return params
+
+
+def omega_scenarios(defaults: BenchDefaults | None = None) -> list[Scenario]:
+    """Eq. 17 over-provisioning sweep (one scenario per omega)."""
+    trace = _bench_trace_params(defaults)
+    return [
+        Scenario(
+            name=f"omega_{omega}",
+            task="omega_round",
+            params={"trace": trace, "omega": omega, "demand_seed": 5},
+        )
+        for omega in (1.0, 1.25, 1.5, 2.0, 3.0, 4.0)
+    ]
+
+
+def horizon_scenarios(defaults: BenchDefaults | None = None) -> list[Scenario]:
+    """MPC look-ahead sweep (one scenario per W)."""
+    trace = _bench_trace_params(defaults)
+    return [
+        Scenario(
+            name=f"horizon_W{W}",
+            task="horizon_solve",
+            params={"trace": trace, "W": W},
+        )
+        for W in (1, 2, 4, 8)
+    ]
+
+
+#: Predictor name -> factory kwargs, as in the Section VI ablation.
+PREDICTOR_GRID: tuple[tuple[str, str, dict], ...] = (
+    ("naive", "naive", {}),
+    ("moving_average", "moving_average", {"window": 6}),
+    ("ewma", "ewma", {"alpha": 0.3}),
+    ("holt", "holt", {}),
+    ("arima(2,0,1)", "arima", {"order": (2, 0, 1), "window": 48}),
+    # 288 bins of 300 s = the 24 h diurnal period of the trace.
+    ("seasonal_ewma", "seasonal_ewma", {"period": 288}),
+)
+
+
+def predictor_scenarios(defaults: BenchDefaults | None = None) -> list[Scenario]:
+    """Arrival-predictor ablation (one scenario per predictor)."""
+    trace = _bench_trace_params(defaults)
+    return [
+        Scenario(
+            name=f"predictor_{label}",
+            task="predictor_eval",
+            params={
+                "trace": trace,
+                "predictor": name,
+                "predictor_kwargs": dict(kwargs),
+                "warmup": 12,
+            },
+        )
+        for label, name, kwargs in PREDICTOR_GRID
+    ]
+
+
+def preemption_scenarios(defaults: BenchDefaults | None = None) -> list[Scenario]:
+    """CBS with and without priority preemption, 2 h window."""
+    trace = _bench_trace_params(defaults)
+    return [
+        Scenario(
+            name=f"preemption_{'on' if flag else 'off'}",
+            task="simulate",
+            params={
+                "trace": trace,
+                "policy": "cbs",
+                "predictor": "ewma",
+                "enable_preemption": flag,
+                "window_hours": 2.0,
+            },
+        )
+        for flag in (False, True)
+    ]
+
+
+def slo_scenarios(defaults: BenchDefaults | None = None) -> list[Scenario]:
+    """SLO-tightness sweep (energy/delay trade-off), 2 h window."""
+    trace = _bench_trace_params(defaults)
+    return [
+        Scenario(
+            name=f"slo_{multiplier}x",
+            task="simulate",
+            params={
+                "trace": trace,
+                "policy": "cbs",
+                "predictor": "ewma",
+                "slo_multiplier": multiplier,
+                "window_hours": 2.0,
+            },
+        )
+        for multiplier in (0.25, 1.0, 4.0)
+    ]
+
+
+def consolidation_scenarios() -> list[Scenario]:
+    """Migration consolidation over fragmented fleets."""
+    return [
+        Scenario(
+            name="consolidation_frag",
+            task="consolidation",
+            params={"seed": 11, "trials": 10, "num_machines": 20, "mean_load": 0.35},
+        )
+    ]
+
+
+def ablation_scenarios(defaults: BenchDefaults | None = None) -> list[Scenario]:
+    """Every ablation sweep as one suite."""
+    return (
+        omega_scenarios(defaults)
+        + horizon_scenarios(defaults)
+        + predictor_scenarios(defaults)
+        + preemption_scenarios(defaults)
+        + slo_scenarios(defaults)
+        + consolidation_scenarios()
+    )
+
+
+#: Fault scenarios the robustness suite replays (a subset of
+#: :data:`repro.resilience.scenarios.SCENARIOS` — stragglers and poisson
+#: stay CLI-only to keep the bench matrix at its historical three rows).
+ROBUSTNESS_SCENARIOS = ("clean", "outage", "blackout")
+
+
+def robustness_scenarios(
+    defaults: BenchDefaults | None = None,
+    scenarios: tuple[str, ...] = ROBUSTNESS_SCENARIOS,
+) -> list[Scenario]:
+    """Guarded CBS under the named fault scenarios, 2 h window."""
+    trace = _bench_trace_params(defaults)
+    return [
+        Scenario(
+            name=f"fault_{scenario}",
+            task="simulate",
+            params={
+                "trace": trace,
+                "policy": "cbs",
+                "predictor": "ewma",
+                "guard": True,
+                "fault_scenario": None if scenario == "clean" else scenario,
+                "fault_seed": 1,
+                "window_hours": 2.0,
+            },
+        )
+        for scenario in scenarios
+    ]
+
+
+#: Suite name -> builder, for the ``repro bench`` CLI.
+SUITES = {
+    "scalability": lambda defaults: scalability_scenarios(),
+    "ablation": ablation_scenarios,
+    "robustness": robustness_scenarios,
+}

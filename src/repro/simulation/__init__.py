@@ -27,6 +27,7 @@ from repro.simulation.metrics import (
     TaskRestart,
 )
 from repro.simulation.cluster import ClusterSimulator, ClusterConfig
+from repro.simulation.timing import PhaseTimer
 from repro.simulation.harmony import (
     HarmonyConfig,
     HarmonySimulation,
@@ -51,6 +52,7 @@ __all__ = [
     "TaskRestart",
     "ClusterSimulator",
     "ClusterConfig",
+    "PhaseTimer",
     "HarmonyConfig",
     "HarmonySimulation",
     "SimulationResult",

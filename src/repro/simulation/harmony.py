@@ -31,6 +31,7 @@ from repro.resilience.faults import FaultPlan, FaultStats
 from repro.resilience.guard import GuardConfig, GuardedController, GuardStats
 from repro.simulation.cluster import ClusterConfig, ClusterSimulator, ClusterView
 from repro.simulation.metrics import SimulationMetrics
+from repro.simulation.timing import PhaseTimer
 from repro.trace.schema import PriorityGroup, Task, Trace
 
 POLICIES = ("cbs", "cbp", "baseline", "threshold", "static")
@@ -197,6 +198,11 @@ class SimulationResult:
     guard_timeline: list[tuple[float, str]] = field(default_factory=list)
     #: What the fault injector actually did, when faults were configured.
     fault_stats: FaultStats | None = None
+    #: Wall-clock seconds per pipeline phase (classifier fit, prepare,
+    #: policy build, replay, collect) — feeds the scenario runner's
+    #: ``BENCH_<name>.json`` perf baselines.  Not part of :meth:`summary`,
+    #: which must stay deterministic for a given scenario.
+    phase_timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_cost(self) -> float:
@@ -259,7 +265,12 @@ class HarmonySimulation:
     ) -> None:
         self.config = config
         self.trace = trace
-        self.classifier = classifier or self._fit_classifier()
+        self.timer = PhaseTimer()
+        if classifier is not None:
+            self.classifier = classifier
+        else:
+            with self.timer.phase("classifier_fit"):
+                self.classifier = self._fit_classifier()
         manager_config = config.manager or ContainerManagerConfig(
             epsilon=config.epsilon,
             capacity_ladders=(
@@ -407,8 +418,10 @@ class HarmonySimulation:
         return _StaticPolicy(config.fleet)
 
     def run(self) -> SimulationResult:
-        policy = self.build_policy()
-        tasks, class_of = self.prepare()
+        with self.timer.phase("policy_build"):
+            policy = self.build_policy()
+        with self.timer.phase("prepare"):
+            tasks, class_of = self.prepare()
         simulator = ClusterSimulator(
             tasks=tasks,
             horizon=self.trace.horizon,
@@ -423,7 +436,8 @@ class HarmonySimulation:
             ),
             relabel=self.relabel_class,
         )
-        metrics = simulator.run()
+        with self.timer.phase("replay"):
+            metrics = simulator.run()
 
         guard_stats: GuardStats | None = None
         guard_timeline: list[tuple[float, str]] = []
@@ -469,6 +483,7 @@ class HarmonySimulation:
                 if simulator.fault_injector is not None
                 else None
             ),
+            phase_timings=self.timer.snapshot(),
         )
 
 

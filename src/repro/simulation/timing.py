@@ -1,0 +1,44 @@
+"""Lightweight named-phase wall-clock timing.
+
+:class:`PhaseTimer` is the instrumentation seam between
+:class:`~repro.simulation.harmony.HarmonySimulation` (which brackets its
+pipeline stages — classifier fit, task preparation, policy construction,
+the replay loop itself) and the scenario runner's perf baselines
+(``BENCH_<name>.json``).  It is deliberately dumb: ``perf_counter`` deltas
+accumulated per name, no nesting, no thread-safety — one timer per
+simulation object.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase."""
+
+    def __init__(self) -> None:
+        self.timings: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a ``with``-block under ``name`` (repeat names accumulate)."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.timings[name] = (
+                self.timings.get(name, 0.0) + perf_counter() - start
+            )
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add an externally measured duration (e.g. from a worker)."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self.timings[name] = self.timings.get(name, 0.0) + seconds
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict copy, ready for JSON reports."""
+        return dict(self.timings)

@@ -1,0 +1,89 @@
+"""Golden seeded end-to-end regression: one small HARMONY run, snapshotted.
+
+A complete pipeline run — synthetic trace, classifier fit, CBS control
+loop, cluster replay — on a pinned 30-minute scenario, compared against a
+checked-in JSON snapshot of :meth:`SimulationResult.summary`.  Any change
+to the trace generator, classifier, queueing inversion, LP, rounder or
+simulator that shifts the end-to-end numbers shows up here as a diff of
+the exact fields that moved.
+
+Regenerating the snapshot (after an *intentional* behaviour change)::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_regression.py
+
+then review the fixture diff in ``tests/fixtures/golden_harmony_summary.json``
+and commit it alongside the change that caused it.
+"""
+
+import json
+import math
+import os
+from pathlib import Path
+
+from repro.classification import ClassifierConfig, TaskClassifier
+from repro.simulation import HarmonyConfig, HarmonySimulation
+from repro.trace import SyntheticTraceConfig, generate_trace
+
+GOLDEN_PATH = Path(__file__).parent / "fixtures" / "golden_harmony_summary.json"
+
+#: The pinned scenario.  Everything is derived from these constants — do
+#: not reuse a session fixture here, the snapshot must not depend on
+#: conftest defaults drifting.
+GOLDEN_TRACE = SyntheticTraceConfig(
+    horizon_hours=0.5, seed=11, total_machines=120, load_factor=0.4
+)
+GOLDEN_SEED = 11
+#: Relative tolerance for float leaves: the run is deterministic, but
+#: BLAS/platform differences can wiggle the last bits of accumulated sums.
+REL_TOL = 1e-6
+
+
+def golden_summary() -> dict:
+    trace = generate_trace(GOLDEN_TRACE)
+    classifier = TaskClassifier(ClassifierConfig(seed=GOLDEN_SEED)).fit(
+        list(trace.tasks)
+    )
+    config = HarmonyConfig(policy="cbs", predictor="ewma")
+    result = HarmonySimulation(config, trace, classifier=classifier).run()
+    return result.summary()
+
+
+def assert_matches(actual, expected, path="summary"):
+    assert type(actual) is type(expected) or (
+        isinstance(actual, (int, float)) and isinstance(expected, (int, float))
+    ), f"{path}: type changed {type(expected).__name__} -> {type(actual).__name__}"
+    if isinstance(expected, dict):
+        assert sorted(actual) == sorted(expected), (
+            f"{path}: keys changed {sorted(expected)} -> {sorted(actual)}"
+        )
+        for key in expected:
+            assert_matches(actual[key], expected[key], f"{path}.{key}")
+    elif isinstance(expected, float):
+        if math.isinf(expected) or math.isnan(expected):
+            assert str(actual) == str(expected), f"{path}: {expected} -> {actual}"
+        else:
+            assert math.isclose(actual, expected, rel_tol=REL_TOL, abs_tol=1e-9), (
+                f"{path}: {expected!r} -> {actual!r}"
+            )
+    else:
+        assert actual == expected, f"{path}: {expected!r} -> {actual!r}"
+
+
+def test_golden_end_to_end_summary():
+    summary = golden_summary()
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    expected = json.loads(GOLDEN_PATH.read_text())
+    assert_matches(summary, expected)
+
+
+def test_golden_run_is_self_deterministic():
+    """Two fresh pipelines on the pinned scenario agree exactly.
+
+    Separates "the code is nondeterministic" from "the code changed" when
+    the snapshot comparison fails.
+    """
+    first = json.dumps(golden_summary(), sort_keys=True)
+    second = json.dumps(golden_summary(), sort_keys=True)
+    assert first == second

@@ -1,0 +1,225 @@
+"""Tests for the shared scenario-execution subsystem (repro.runner).
+
+Covers the registry, the runner's serial and spawned-parallel paths, the
+serial/parallel determinism contract, the perf-baseline writer, the shared
+bench defaults, the fault-scenario catalog and the phase-timing hook.
+"""
+
+import json
+
+import pytest
+
+from repro.resilience import FaultPlan
+from repro.resilience.scenarios import SCENARIOS, build_scenario_plan
+from repro.runner import (
+    BenchDefaults,
+    Scenario,
+    ScenarioRunner,
+    baseline_payload,
+    bench_defaults,
+    get_task,
+    registered_tasks,
+    summary_digest,
+    trace_config_from_params,
+    write_baseline,
+)
+from repro.simulation import PhaseTimer
+
+#: Small, fast scenarios reused by the runner tests (one LP solve each).
+SMALL = [
+    Scenario(
+        name=f"relax_s{seed}",
+        task="relax_solve",
+        params={"num_classes": 8, "num_types": 2, "W": 2, "seed": seed, "repeats": 1},
+    )
+    for seed in (0, 1)
+]
+
+
+class TestScenarioRegistry:
+    def test_builtin_tasks_registered(self):
+        names = registered_tasks()
+        for expected in (
+            "simulate", "relax_solve", "omega_round", "horizon_solve",
+            "predictor_eval", "consolidation",
+        ):
+            assert expected in names
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario task"):
+            get_task("no_such_task")
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValueError):
+            Scenario(name="", task="relax_solve")
+        with pytest.raises(ValueError):
+            Scenario(name="x", task="")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.runner.scenario import register_task
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_task("simulate")(lambda params: {"summary": {}})
+
+
+class TestScenarioRunnerSerial:
+    def test_results_preserve_input_order(self):
+        report = ScenarioRunner("unit").run(SMALL, workers=1)
+        assert [r.name for r in report] == [s.name for s in SMALL]
+        assert report.workers == 1
+        assert report["relax_s1"].summary["num_classes"] == 8
+
+    def test_serial_runs_are_reproducible(self):
+        runner = ScenarioRunner("unit")
+        first = runner.run(SMALL, workers=1)
+        second = runner.run(SMALL, workers=1)
+        assert first.digests() == second.digests()
+
+    def test_duplicate_names_rejected(self):
+        twice = [SMALL[0], SMALL[0]]
+        with pytest.raises(ValueError, match="unique"):
+            ScenarioRunner("unit").run(twice, workers=1)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ScenarioRunner("unit").run(SMALL, workers=0)
+
+    def test_phases_and_walls_recorded(self):
+        report = ScenarioRunner("unit").run(SMALL[:1], workers=1)
+        result = report.results[0]
+        assert result.wall_seconds > 0
+        assert "solve" in result.phases
+        assert report.serial_seconds == pytest.approx(
+            sum(r.wall_seconds for r in report.results)
+        )
+
+
+class TestScenarioRunnerParallel:
+    """The tentpole contract: spawn workers, bit-identical summaries."""
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        runner = ScenarioRunner("unit")
+        serial, parallel = runner.verify_determinism(SMALL, workers=2)
+        assert serial.digests() == parallel.digests()
+        assert parallel.workers == 2
+        assert serial.summaries() == parallel.summaries()
+
+
+class TestBaseline:
+    def test_payload_shape(self):
+        report = ScenarioRunner("unit").run(SMALL, workers=1)
+        payload = baseline_payload(report)
+        assert payload["bench"] == "unit"
+        assert payload["workers"] == 1
+        assert len(payload["scenarios"]) == len(SMALL)
+        entry = payload["scenarios"][0]
+        assert entry["name"] == SMALL[0].name
+        assert entry["task"] == "relax_solve"
+        assert len(entry["summary_digest"]) == 64
+
+    def test_compare_serial_fields(self):
+        runner = ScenarioRunner("unit")
+        serial = runner.run(SMALL, workers=1)
+        payload = baseline_payload(serial, compare_serial=serial)
+        assert payload["summaries_match_serial"] is True
+        assert "serial_wall_s" in payload
+
+    def test_write_baseline_roundtrips(self, tmp_path):
+        report = ScenarioRunner("unit").run(SMALL[:1], workers=1)
+        path = write_baseline(report, tmp_path)
+        assert path == tmp_path / "BENCH_unit.json"
+        payload = json.loads(path.read_text())
+        assert payload["scenarios"][0]["summary_digest"] == report.results[0].digest()
+
+    def test_summary_digest_is_order_insensitive(self):
+        assert summary_digest({"a": 1, "b": 2}) == summary_digest({"b": 2, "a": 1})
+        assert summary_digest({"a": 1}) != summary_digest({"a": 2})
+
+
+class TestBenchDefaults:
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_HOURS", "0.25")
+        monkeypatch.setenv("REPRO_BENCH_MACHINES", "50")
+        monkeypatch.setenv("REPRO_BENCH_SEED", "99")
+        monkeypatch.setenv("REPRO_BENCH_LOAD", "0.3")
+        defaults = bench_defaults()
+        assert defaults == BenchDefaults(hours=0.25, machines=50, seed=99, load=0.3)
+
+    def test_trace_params_roundtrip(self):
+        defaults = BenchDefaults(hours=0.5, machines=120, seed=11, load=0.4)
+        config = trace_config_from_params(defaults.trace_params())
+        assert config.horizon_hours == 0.5
+        assert config.total_machines == 120
+        assert config.seed == 11
+        assert config.load_factor == 0.4
+        assert config.constraint_platforms is None
+
+    def test_constraints_flag_builds_platforms(self):
+        params = {"hours": 0.5, "seed": 1, "machines": 10, "load": 0.4,
+                  "constraints": True}
+        config = trace_config_from_params(params)
+        assert config.constraint_platforms  # Table II fleet platforms
+
+
+class TestFaultScenarioCatalog:
+    def test_clean_has_no_plan(self):
+        assert build_scenario_plan("clean", horizon=3600.0) is None
+
+    @pytest.mark.parametrize("name", [s for s in SCENARIOS if s != "clean"])
+    def test_named_scenarios_build_plans(self, name):
+        plan = build_scenario_plan(name, horizon=3600.0, seed=3)
+        assert isinstance(plan, FaultPlan)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            build_scenario_plan("meteor_strike", horizon=3600.0)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            build_scenario_plan("outage", horizon=0.0)
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            pass
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        snapshot = timer.snapshot()
+        assert set(snapshot) == {"a", "b"}
+        assert snapshot["a"] >= 0.0
+
+    def test_record_and_validation(self):
+        timer = PhaseTimer()
+        timer.record("x", 0.5)
+        timer.record("x", 0.25)
+        assert timer.snapshot()["x"] == pytest.approx(0.75)
+        with pytest.raises(ValueError):
+            timer.record("x", -1.0)
+
+    def test_snapshot_is_a_copy(self):
+        timer = PhaseTimer()
+        timer.record("x", 1.0)
+        snapshot = timer.snapshot()
+        snapshot["x"] = 99.0
+        assert timer.snapshot()["x"] == pytest.approx(1.0)
+
+    def test_simulation_records_phases(self):
+        """HarmonySimulation.run() exposes the per-phase timing hook."""
+        from repro.simulation import HarmonyConfig, HarmonySimulation
+        from repro.trace import SyntheticTraceConfig, generate_trace
+
+        trace = generate_trace(
+            SyntheticTraceConfig(
+                horizon_hours=0.25, seed=5, total_machines=60, load_factor=0.3
+            )
+        )
+        result = HarmonySimulation(HarmonyConfig(policy="static"), trace).run()
+        for phase in ("classifier_fit", "policy_build", "prepare", "replay"):
+            assert phase in result.phase_timings
+            assert result.phase_timings[phase] >= 0.0
+        # Timings are observability, not behaviour: never in the summary.
+        assert "phase_timings" not in result.summary()
