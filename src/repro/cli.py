@@ -19,7 +19,12 @@ resilience
 bench
     Run a scenario suite (scalability / ablation / robustness) through
     the parallel :class:`~repro.runner.ScenarioRunner` and write a
-    ``BENCH_<suite>.json`` perf baseline.
+    ``BENCH_<suite>.json`` perf baseline.  With ``--supervise`` (or
+    ``--timeout``/``--retries``/``--resume``) the suite runs under the
+    crash-safe :class:`~repro.runner.ScenarioSupervisor` instead:
+    per-scenario timeouts, deterministic-backoff retries, quarantine,
+    and a digest-verified ``JOURNAL_<suite>.jsonl`` that ``--resume``
+    replays so an interrupted suite finishes where it left off.
 """
 
 from __future__ import annotations
@@ -195,9 +200,45 @@ def cmd_bench(args: argparse.Namespace) -> int:
         SUITES,
         BenchDefaults,
         ScenarioRunner,
+        ScenarioSupervisor,
+        SupervisorConfig,
         bench_defaults,
         write_baseline,
     )
+
+    if args.workers < 1:
+        print(
+            f"repro bench: --workers must be >= 1, got {args.workers} "
+            "(hint: --workers 1 runs scenarios in-process, serially)",
+            file=sys.stderr,
+        )
+        return 2
+    supervised = (
+        args.supervise
+        or args.resume
+        or args.timeout is not None
+        or args.retries is not None
+    )
+    if supervised and args.verify:
+        print(
+            "repro bench: --verify compares plain serial/parallel runs and "
+            "cannot be combined with supervised execution "
+            "(--supervise/--resume/--timeout/--retries)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print(
+            f"repro bench: --timeout must be positive seconds, got {args.timeout}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.retries is not None and args.retries < 0:
+        print(
+            f"repro bench: --retries must be >= 0, got {args.retries}",
+            file=sys.stderr,
+        )
+        return 2
 
     env = bench_defaults()
     defaults = BenchDefaults(
@@ -210,14 +251,32 @@ def cmd_bench(args: argparse.Namespace) -> int:
     exit_code = 0
     for suite in suites:
         scenarios = SUITES[suite](defaults)
-        runner = ScenarioRunner(suite)
         serial = None
-        if args.verify:
-            serial, report = runner.verify_determinism(
-                scenarios, workers=args.workers
+        if supervised:
+            supervisor = ScenarioSupervisor(
+                suite,
+                SupervisorConfig(
+                    timeout_seconds=args.timeout,
+                    max_attempts=(args.retries if args.retries is not None else 2) + 1,
+                ),
+                journal_dir=args.output,
             )
+            report = supervisor.run(
+                scenarios, workers=args.workers, resume=args.resume
+            )
+            if supervisor.resumed:
+                print(
+                    f"resumed {len(supervisor.resumed)} scenario(s) from the "
+                    f"journal, executed {len(set(supervisor.executed))}"
+                )
         else:
-            report = runner.run(scenarios, workers=args.workers)
+            runner = ScenarioRunner(suite)
+            if args.verify:
+                serial, report = runner.verify_determinism(
+                    scenarios, workers=args.workers
+                )
+            else:
+                report = runner.run(scenarios, workers=args.workers)
         rows = [
             [
                 r.name,
@@ -227,6 +286,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
             ]
             for r in report
         ]
+        for failure in report.quarantined:
+            rows.append(
+                [failure.name, failure.scenario.task,
+                 f"QUARANTINED ({failure.kind})",
+                 f"after {failure.attempts} attempt(s)"]
+            )
         rows.append(
             ["TOTAL", "-", f"{report.total_wall_seconds:.3f}s",
              f"{report.tasks_per_second():.0f} tasks/s"]
@@ -236,11 +301,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 ["scenario", "task", "wall", "phases"],
                 rows,
                 title=f"bench {suite} — {args.workers} worker(s)"
-                      + (" [serial-verified]" if args.verify else ""),
+                      + (" [serial-verified]" if args.verify else "")
+                      + (" [supervised]" if supervised else ""),
             )
         )
         path = write_baseline(report, args.output, compare_serial=serial)
         print(f"wrote {path}")
+        if report.quarantined:
+            names = ", ".join(f.name for f in report.quarantined)
+            print(f"quarantined scenarios: {names}", file=sys.stderr)
+            exit_code = 1
     return exit_code
 
 
@@ -329,6 +399,26 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--verify", action="store_true",
         help="also run serially and assert bit-identical summaries",
+    )
+    bench.add_argument(
+        "--supervise", action="store_true",
+        help="run under the crash-safe supervisor: per-scenario worker "
+             "processes, retries with deterministic backoff, quarantine, "
+             "and a JOURNAL_<suite>.jsonl in the output directory",
+    )
+    bench.add_argument(
+        "--resume", action="store_true",
+        help="replay JOURNAL_<suite>.jsonl (verifying digests) and only "
+             "execute scenarios it is missing; implies --supervise",
+    )
+    bench.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-scenario wall-clock budget per attempt; implies --supervise",
+    )
+    bench.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retries per failing scenario before quarantine "
+             "(default 2 under supervision); implies --supervise",
     )
     bench.add_argument("--output", type=Path, default=Path("."),
                        help="directory for the BENCH_<suite>.json baseline")

@@ -1,0 +1,138 @@
+"""Structured error taxonomy for the reproduction pipeline.
+
+Every failure the runner, provisioning stack or simulator can surface is
+an instance of :class:`ReproError`, carrying a stable machine-readable
+``code`` (for journals, reports and CI assertions) plus free-form
+``context`` keyword details.  The hierarchy is intentionally shallow —
+three families matching the three places things go wrong:
+
+``ScenarioError``
+    A unit of bench work misbehaved: it timed out (:class:`ScenarioTimeout`),
+    its worker process died (:class:`ScenarioCrash`), or the task itself
+    raised (:class:`ScenarioFailed`).  The supervisor retries these and
+    quarantines scenarios that keep failing.
+``SolverError``
+    The optimization layer could not produce a plan.
+    :class:`SolverInfeasible` subclasses :class:`RuntimeError` as well, so
+    pre-taxonomy ``except RuntimeError`` call sites keep working.
+``TraceCorrupt``
+    Data that should be trustworthy is not: non-finite floats in a summary
+    headed for canonical JSON (:class:`NonFiniteSummary`, also a
+    ``ValueError``) or a journal line whose digest does not match its
+    payload (:class:`JournalCorrupt`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for structured pipeline errors.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description.
+    **context:
+        Arbitrary machine-readable details (scenario name, attempt number,
+        timeout budget, ...), kept on :attr:`context` and rendered into
+        ``str(error)``.
+    """
+
+    #: Stable machine-readable identifier for this error family.
+    code = "repro_error"
+
+    def __init__(self, message: str, **context) -> None:
+        super().__init__(message)
+        self.message = message
+        self.context = context
+
+    def __str__(self) -> str:
+        if not self.context:
+            return self.message
+        details = ", ".join(f"{k}={v!r}" for k, v in sorted(self.context.items()))
+        return f"{self.message} ({details})"
+
+
+# --------------------------------------------------------------- scenarios
+
+
+class ScenarioError(ReproError):
+    """A bench scenario failed to produce a result."""
+
+    code = "scenario_error"
+
+
+class ScenarioTimeout(ScenarioError):
+    """A scenario exceeded its per-attempt wall-clock budget."""
+
+    code = "scenario_timeout"
+
+
+class ScenarioCrash(ScenarioError):
+    """A scenario's worker process died without reporting a result."""
+
+    code = "scenario_crash"
+
+
+class ScenarioFailed(ScenarioError):
+    """A scenario task raised instead of returning a summary."""
+
+    code = "scenario_failed"
+
+
+# ------------------------------------------------------------------ solver
+
+
+class SolverError(ReproError):
+    """The optimization layer could not produce a usable plan."""
+
+    code = "solver_error"
+
+
+class SolverInfeasible(SolverError, RuntimeError):
+    """CBS-RELAX (or a downstream rounder) failed to solve an instance.
+
+    Also a :class:`RuntimeError` so callers written before the taxonomy
+    (``except RuntimeError``) still catch it.
+    """
+
+    code = "solver_infeasible"
+
+
+# -------------------------------------------------------------------- data
+
+
+class TraceCorrupt(ReproError):
+    """Data that must be trustworthy (trace, summary, journal) is not."""
+
+    code = "trace_corrupt"
+
+
+class NonFiniteSummary(TraceCorrupt, ValueError):
+    """A summary headed for canonical JSON contains NaN/Inf floats.
+
+    Also a :class:`ValueError` (what :func:`json.dumps` raises with
+    ``allow_nan=False``) so generic JSON error handling still applies.
+    """
+
+    code = "non_finite_summary"
+
+
+class JournalCorrupt(TraceCorrupt):
+    """A journal line's digest does not match its payload."""
+
+    code = "journal_corrupt"
+
+
+__all__ = [
+    "ReproError",
+    "ScenarioError",
+    "ScenarioTimeout",
+    "ScenarioCrash",
+    "ScenarioFailed",
+    "SolverError",
+    "SolverInfeasible",
+    "TraceCorrupt",
+    "NonFiniteSummary",
+    "JournalCorrupt",
+]

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import optimize, sparse
 
+from repro.errors import SolverInfeasible
 from repro.provisioning.model import ProvisioningProblem
 
 
@@ -278,7 +279,13 @@ class CbsRelaxSolver:
             method=self.solver_method,
         )
         if not result.success:
-            raise RuntimeError(f"CBS-RELAX LP failed: {result.message}")
+            raise SolverInfeasible(
+                f"CBS-RELAX LP failed: {result.message}",
+                status=int(result.status),
+                horizon=W,
+                machines=M,
+                containers=N,
+            )
 
         v = result.x
         z = np.array([[v[z_index(t, m)] for m in range(M)] for t in range(W)])

@@ -26,11 +26,18 @@ from repro.resilience.faults import (
     RandomMachineFailures,
 )
 from repro.resilience.guard import GuardConfig, GuardedController, GuardStats
-from repro.resilience.scenarios import SCENARIOS, build_scenario_plan
+from repro.resilience.scenarios import (
+    SCENARIOS,
+    WORKER_FAULT_MODES,
+    build_scenario_plan,
+    transient_fault_scenario,
+)
 
 __all__ = [
     "SCENARIOS",
+    "WORKER_FAULT_MODES",
     "build_scenario_plan",
+    "transient_fault_scenario",
     "CorrelatedOutage",
     "FaultInjector",
     "FaultPlan",

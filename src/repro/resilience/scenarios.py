@@ -8,6 +8,12 @@ matrix and their numbers stay comparable.
 
 from __future__ import annotations
 
+import os
+import signal
+import time
+from pathlib import Path
+
+from repro.errors import ScenarioFailed
 from repro.resilience.faults import (
     CorrelatedOutage,
     FaultPlan,
@@ -15,6 +21,7 @@ from repro.resilience.faults import (
     MonitoringBlackout,
     RandomMachineFailures,
 )
+from repro.runner.scenario import Scenario, get_task, register_task
 
 #: The canonical scenario matrix, in reporting order.
 SCENARIOS = ("clean", "outage", "stragglers", "blackout", "poisson")
@@ -47,3 +54,87 @@ def build_scenario_plan(
     if scenario == "poisson":
         return plan.with_fault(RandomMachineFailures(rate_per_machine_hour=0.05))
     raise ValueError(f"unknown scenario {scenario!r}; expected one of {SCENARIOS}")
+
+
+# ------------------------------------------------------- worker-level faults
+#
+# The specs above inject faults into the *simulated cluster*; the pieces
+# below inject faults into the *bench harness itself* — a worker process
+# that raises, hangs or dies mid-scenario — which is what the scenario
+# supervisor (repro.runner.supervisor) exists to survive.  Keeping them in
+# the fault catalog means chaos tests, CI smokes and ad-hoc debugging all
+# speak the same scenario vocabulary.
+
+#: Worker-fault modes: raise a structured error, hang until killed by the
+#: supervisor's timeout, or SIGKILL the worker outright (a crash).
+WORKER_FAULT_MODES = ("raise", "hang", "kill")
+
+
+@register_task("transient_fault")
+def transient_fault_task(params: dict) -> dict:
+    """Fail the first ``fail_attempts`` attempts, then run the inner task.
+
+    Attempt accounting must survive the worker process dying, so it lives
+    in a marker file under ``marker_dir`` keyed by ``marker_key``.  Params:
+
+    - ``marker_dir`` / ``marker_key`` — where attempts are counted;
+    - ``fail_attempts`` — attempts to sabotage before succeeding;
+    - ``mode`` — one of :data:`WORKER_FAULT_MODES`;
+    - ``hang_seconds`` — how long ``"hang"`` sleeps (default 3600);
+    - ``inner_task`` / ``inner_params`` — the real work, whose summary is
+      returned verbatim once the fault budget is exhausted (so a recovered
+      run digests identically to an unsabotaged one).
+    """
+    marker_dir = Path(params["marker_dir"])
+    key = str(params.get("marker_key", "fault"))
+    fail_attempts = int(params.get("fail_attempts", 1))
+    mode = str(params.get("mode", "raise"))
+    if mode not in WORKER_FAULT_MODES:
+        raise ValueError(f"mode must be one of {WORKER_FAULT_MODES}, got {mode!r}")
+
+    marker = marker_dir / f"{key}.attempts"
+    attempts_so_far = int(marker.read_text()) if marker.exists() else 0
+    if attempts_so_far < fail_attempts:
+        marker_dir.mkdir(parents=True, exist_ok=True)
+        marker.write_text(str(attempts_so_far + 1))
+        if mode == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if mode == "hang":
+            time.sleep(float(params.get("hang_seconds", 3600.0)))
+        raise ScenarioFailed(
+            "injected transient worker fault",
+            marker_key=key,
+            attempt=attempts_so_far + 1,
+            fail_attempts=fail_attempts,
+        )
+    inner = get_task(str(params["inner_task"]))
+    return inner(dict(params.get("inner_params", {})))
+
+
+def transient_fault_scenario(
+    name: str,
+    inner: Scenario,
+    marker_dir: str | Path,
+    fail_attempts: int = 1,
+    mode: str = "raise",
+    hang_seconds: float = 3600.0,
+) -> Scenario:
+    """Wrap ``inner`` so its first ``fail_attempts`` attempts fail.
+
+    The wrapper runs the same inner task with the same params once the
+    fault budget is spent, so the recovered summary — and therefore its
+    digest — matches an uninterrupted run of ``inner`` exactly.
+    """
+    return Scenario(
+        name=name,
+        task="transient_fault",
+        params={
+            "marker_dir": str(marker_dir),
+            "marker_key": name,
+            "fail_attempts": int(fail_attempts),
+            "mode": mode,
+            "hang_seconds": float(hang_seconds),
+            "inner_task": inner.task,
+            "inner_params": dict(inner.params),
+        },
+    )

@@ -23,16 +23,24 @@ from repro.runner.defaults import (
     bench_seed,
     trace_config_from_params,
 )
+from repro.runner.journal import Journal, JournalEntry, journal_path
 from repro.runner.runner import (
     RunnerReport,
+    ScenarioFailure,
     ScenarioResult,
     ScenarioRunner,
     baseline_payload,
+    canonical_json,
     repo_root,
     summary_digest,
     write_baseline,
 )
 from repro.runner.scenario import Scenario, get_task, register_task, registered_tasks
+from repro.runner.supervisor import (
+    ScenarioSupervisor,
+    SupervisorConfig,
+    backoff_delay,
+)
 from repro.runner.suites import (
     SUITES,
     ablation_scenarios,
@@ -56,12 +64,20 @@ __all__ = [
     "bench_seed",
     "trace_config_from_params",
     "RunnerReport",
+    "ScenarioFailure",
     "ScenarioResult",
     "ScenarioRunner",
+    "ScenarioSupervisor",
+    "SupervisorConfig",
+    "backoff_delay",
     "baseline_payload",
+    "canonical_json",
     "repo_root",
     "summary_digest",
     "write_baseline",
+    "Journal",
+    "JournalEntry",
+    "journal_path",
     "Scenario",
     "get_task",
     "register_task",

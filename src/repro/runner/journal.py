@@ -1,0 +1,185 @@
+"""Crash-safe scenario journals: ``JOURNAL_<suite>.jsonl``.
+
+Every completed scenario is appended as one line of canonical JSON whose
+``sha256`` field is the digest of the rest of the record — flushed and
+fsynced per line, so a SIGKILLed suite leaves at most one torn trailing
+line.  :meth:`Journal.load` verifies every digest (raising
+:class:`~repro.errors.JournalCorrupt` on a mismatch, which means the file
+was *edited*, not torn) and silently drops an incomplete final line
+(which means the writer *died*, the exact event journaling exists to
+survive).
+
+Resume semantics: an entry satisfies a scenario only when suite, name,
+task *and* params all match — a journal written at different bench
+parameters can never leak stale results into a run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import JournalCorrupt
+from repro.runner.runner import ScenarioResult, canonical_json
+from repro.runner.scenario import Scenario
+
+#: Bumped when the line format changes; loads reject other versions.
+JOURNAL_VERSION = 1
+
+
+def journal_path(suite: str, directory: str | Path = ".") -> Path:
+    """Where the journal for ``suite`` lives inside ``directory``."""
+    return Path(directory) / f"JOURNAL_{suite}.jsonl"
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journaled scenario completion."""
+
+    suite: str
+    scenario: Scenario
+    summary: dict
+    phases: dict
+    wall_seconds: float
+    attempts: int
+
+    def matches(self, scenario: Scenario, suite: str) -> bool:
+        """Whether this entry is a completed run of exactly ``scenario``."""
+        return (
+            self.suite == suite
+            and self.scenario.name == scenario.name
+            and self.scenario.task == scenario.task
+            and self.scenario.params == scenario.params
+        )
+
+    def to_result(self) -> ScenarioResult:
+        return ScenarioResult(
+            scenario=self.scenario,
+            summary=self.summary,
+            phases=dict(self.phases),
+            wall_seconds=self.wall_seconds,
+            attempts=self.attempts,
+        )
+
+    def record(self) -> dict:
+        """The digestable line payload (everything but the digest)."""
+        return {
+            "version": JOURNAL_VERSION,
+            "suite": self.suite,
+            "name": self.scenario.name,
+            "task": self.scenario.task,
+            "params": self.scenario.params,
+            "summary": self.summary,
+            "phases": self.phases,
+            "wall_s": round(self.wall_seconds, 6),
+            "attempts": self.attempts,
+        }
+
+
+def _record_digest(record: dict) -> str:
+    return hashlib.sha256(canonical_json(record).encode()).hexdigest()
+
+
+class Journal:
+    """Append-only, digest-verified scenario journal."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def append(self, entry: JournalEntry) -> None:
+        """Durably append one completed scenario (flush + fsync per line)."""
+        record = entry.record()
+        line = canonical_json({**record, "sha256": _record_digest(record)})
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self) -> list[JournalEntry]:
+        """Parse and verify every journaled entry.
+
+        A torn final line (no trailing newline, or unparseable JSON in the
+        last position) is dropped — that is the signature of a writer
+        killed mid-append.  Anywhere else, or on any digest/version
+        mismatch, the journal is corrupt and the error says which line.
+        """
+        if not self.path.exists():
+            return []
+        raw = self.path.read_text(encoding="utf-8")
+        lines = raw.split("\n")
+        torn_tail = lines and lines[-1] != ""
+        if not torn_tail:
+            lines = lines[:-1]
+        entries: list[JournalEntry] = []
+        for index, line in enumerate(lines):
+            last = index == len(lines) - 1
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if last and torn_tail:
+                    break  # torn by a crash mid-append; resume re-runs it
+                raise JournalCorrupt(
+                    f"journal {self.path} line {index + 1} is not valid JSON",
+                    line=index + 1,
+                ) from exc
+            if not isinstance(payload, dict) or "sha256" not in payload:
+                if last and torn_tail:
+                    break
+                raise JournalCorrupt(
+                    f"journal {self.path} line {index + 1} has no digest",
+                    line=index + 1,
+                )
+            stored = payload.pop("sha256")
+            if _record_digest(payload) != stored:
+                raise JournalCorrupt(
+                    f"journal {self.path} line {index + 1} digest mismatch "
+                    f"(edited or bit-rotted journal)",
+                    line=index + 1,
+                    expected=stored,
+                )
+            if payload.get("version") != JOURNAL_VERSION:
+                raise JournalCorrupt(
+                    f"journal {self.path} line {index + 1} has version "
+                    f"{payload.get('version')!r}, expected {JOURNAL_VERSION}",
+                    line=index + 1,
+                )
+            entries.append(
+                JournalEntry(
+                    suite=payload["suite"],
+                    scenario=Scenario(
+                        name=payload["name"],
+                        task=payload["task"],
+                        params=payload["params"],
+                    ),
+                    summary=payload["summary"],
+                    phases=payload["phases"],
+                    wall_seconds=float(payload["wall_s"]),
+                    attempts=int(payload["attempts"]),
+                )
+            )
+        return entries
+
+    def completed(
+        self, scenarios: list[Scenario], suite: str
+    ) -> dict[str, ScenarioResult]:
+        """Scenario name -> journaled result, for exact-match entries only.
+
+        Later entries win (a scenario retried across resumed runs keeps
+        its most recent completion).
+        """
+        by_name: dict[str, ScenarioResult] = {}
+        entries = self.load()
+        for scenario in scenarios:
+            for entry in entries:
+                if entry.matches(scenario, suite):
+                    by_name[scenario.name] = entry.to_result()
+        return by_name

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from time import perf_counter
 
+from repro.errors import NonFiniteSummary
 from repro.runner.scenario import Scenario
 
 
@@ -40,10 +41,26 @@ def _execute(scenario: Scenario) -> tuple[str, dict, dict, float]:
     return scenario.name, result["summary"], dict(result.get("phases", {})), elapsed
 
 
+def canonical_json(payload) -> str:
+    """Sorted-key, separator-free JSON — the digest and journal wire form.
+
+    NaN/Inf floats would serialize to non-standard tokens whose meaning
+    (and byte form) varies across parsers, silently corrupting digests;
+    they are rejected with :class:`~repro.errors.NonFiniteSummary`.
+    """
+    try:
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except ValueError as exc:
+        raise NonFiniteSummary(
+            f"payload contains non-finite floats and cannot be canonicalized: {exc}"
+        ) from exc
+
+
 def summary_digest(summary: dict) -> str:
     """Canonical SHA-256 of one scenario summary (sorted-key JSON)."""
-    canonical = json.dumps(summary, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode()).hexdigest()
+    return hashlib.sha256(canonical_json(summary).encode()).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -54,6 +71,11 @@ class ScenarioResult:
     summary: dict
     phases: dict[str, float]
     wall_seconds: float
+    #: Execution attempts consumed (always 1 on the unsupervised path;
+    #: the supervisor counts retries).  Deliberately excluded from
+    #: ``BENCH_<suite>.json`` so a retried-then-resumed run stays
+    #: byte-identical to an uninterrupted one.
+    attempts: int = 1
 
     @property
     def name(self) -> str:
@@ -64,6 +86,21 @@ class ScenarioResult:
 
 
 @dataclass(frozen=True)
+class ScenarioFailure:
+    """A scenario the supervisor gave up on (quarantined)."""
+
+    scenario: Scenario
+    #: ``"timeout"`` | ``"crash"`` | ``"error"`` — the *last* failure kind.
+    kind: str
+    attempts: int
+    message: str
+
+    @property
+    def name(self) -> str:
+        return self.scenario.name
+
+
+@dataclass(frozen=True)
 class RunnerReport:
     """Everything one suite run produced."""
 
@@ -71,6 +108,9 @@ class RunnerReport:
     workers: int
     results: tuple[ScenarioResult, ...]
     total_wall_seconds: float
+    #: Scenarios that kept failing under supervision; empty on the plain
+    #: (unsupervised) path, which raises on the first failure instead.
+    quarantined: tuple[ScenarioFailure, ...] = ()
 
     def __post_init__(self) -> None:
         by_name = {}
@@ -191,13 +231,18 @@ def baseline_payload(
             }
             for r in report.results
         ],
+        "quarantined": [
+            {"name": f.name, "kind": f.kind, "attempts": f.attempts}
+            for f in report.quarantined
+        ],
     }
     if compare_serial is not None:
         payload["serial_wall_s"] = round(compare_serial.total_wall_seconds, 4)
-        if report.total_wall_seconds > 0:
-            payload["speedup_vs_serial"] = round(
-                compare_serial.total_wall_seconds / report.total_wall_seconds, 3
-            )
+        payload["speedup_vs_serial"] = (
+            round(compare_serial.total_wall_seconds / report.total_wall_seconds, 3)
+            if report.total_wall_seconds > 0
+            else 0.0
+        )
         payload["summaries_match_serial"] = (
             compare_serial.digests() == report.digests()
         )

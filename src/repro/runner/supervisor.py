@@ -1,0 +1,388 @@
+"""Supervised, crash-safe scenario execution.
+
+:class:`ScenarioSupervisor` wraps the work :class:`~repro.runner.ScenarioRunner`
+does with the failure semantics a long sweep needs:
+
+- **Per-scenario wall-clock timeouts** — every attempt runs in its own
+  spawned worker process, so a hung scenario can be SIGKILLed without
+  touching its neighbours;
+- **Bounded retries with deterministic backoff** — delays follow a capped
+  exponential schedule whose jitter is derived from the scenario *name*
+  (SHA-256), never from ``random`` or the clock, so a rerun of the same
+  suite retries at bit-identical offsets;
+- **Worker-crash detection and respawn** — a worker that dies without
+  reporting (OOM kill, segfault, SIGKILL) is detected by its exit code and
+  the scenario is retried in a fresh worker; one poisoned worker can never
+  contaminate another scenario's process;
+- **Quarantine** — scenarios that keep failing are reported in
+  :attr:`RunnerReport.quarantined` instead of sinking the suite;
+- **Journaled resume** — each completed result is durably appended to a
+  ``JOURNAL_<suite>.jsonl`` (see :mod:`repro.runner.journal`); a rerun with
+  ``resume=True`` replays the journal, verifies digests and only executes
+  what is missing, so an interrupted suite finishes where it left off with
+  an identical final ``BENCH_<suite>.json`` (modulo timing fields).
+
+The plain runner remains the fast path for trusted suites (a shared pool
+amortizes per-process trace/classifier caches); the supervisor trades that
+warmth for isolation, which is what an overnight thousand-scenario sweep
+actually needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ScenarioCrash, ScenarioError, ScenarioFailed, ScenarioTimeout
+from repro.runner.journal import Journal, JournalEntry, journal_path
+from repro.runner.runner import (
+    RunnerReport,
+    ScenarioFailure,
+    ScenarioResult,
+    _execute,
+)
+from repro.runner.scenario import Scenario
+
+#: Supervisor poll granularity (seconds); bounds timeout overshoot.
+_TICK_SECONDS = 0.01
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Failure-handling knobs for :class:`ScenarioSupervisor`.
+
+    Attributes
+    ----------
+    timeout_seconds:
+        Per-attempt wall-clock budget; ``None`` disables timeouts.
+    max_attempts:
+        Total attempts (first try + retries) before quarantine.
+    backoff_base_seconds / backoff_factor / backoff_cap_seconds:
+        Retry delay after attempt ``k`` (1-based) is
+        ``min(cap, base * factor**(k-1))`` scaled by the deterministic
+        jitter below.  The defaults keep test suites fast; production
+        sweeps should raise the base.
+    jitter_fraction:
+        Max relative jitter added to each delay.  The jitter value is
+        derived from SHA-256 of ``"<scenario name>:<attempt>"`` — no
+        ``random``, no clock — so reruns back off at identical offsets.
+    """
+
+    timeout_seconds: float | None = None
+    max_attempts: int = 3
+    backoff_base_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap_seconds: float = 2.0
+    jitter_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_seconds < 0:
+            raise ValueError(
+                f"backoff_base_seconds must be >= 0, got {self.backoff_base_seconds}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_cap_seconds < 0:
+            raise ValueError(
+                f"backoff_cap_seconds must be >= 0, got {self.backoff_cap_seconds}"
+            )
+        if not 0 <= self.jitter_fraction <= 1:
+            raise ValueError(
+                f"jitter_fraction must be in [0, 1], got {self.jitter_fraction}"
+            )
+
+
+def backoff_delay(name: str, attempt: int, config: SupervisorConfig) -> float:
+    """Deterministic retry delay after ``attempt`` failures of ``name``.
+
+    Exponential in the attempt number, capped, with jitter derived from
+    SHA-256 of ``"<name>:<attempt>"`` — bit-identical across reruns and
+    machines, yet de-correlated across scenarios so a mass failure does
+    not retry in lockstep.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    base = min(
+        config.backoff_cap_seconds,
+        config.backoff_base_seconds * config.backoff_factor ** (attempt - 1),
+    )
+    digest = hashlib.sha256(f"{name}:{attempt}".encode()).digest()
+    fraction = int.from_bytes(digest[:8], "big") / 2**64  # uniform [0, 1)
+    return base * (1.0 + config.jitter_fraction * fraction)
+
+
+def _worker_main(scenario: Scenario, conn) -> None:
+    """Worker body: run one attempt, report over the pipe, exit."""
+    try:
+        payload = _execute(scenario)
+        conn.send(("ok", payload))
+    except BaseException as exc:  # noqa: BLE001 — report, parent decides
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass  # parent sees the exit code instead
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+@dataclass
+class _InFlight:
+    """One attempt currently running in a worker process."""
+
+    scenario: Scenario
+    attempt: int
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    deadline: float | None
+
+
+class ScenarioSupervisor:
+    """Runs scenario suites with timeouts, retries, quarantine and resume."""
+
+    def __init__(
+        self,
+        suite: str = "suite",
+        config: SupervisorConfig | None = None,
+        journal_dir: str | Path | None = None,
+    ) -> None:
+        self.suite = suite
+        self.config = config or SupervisorConfig()
+        self.journal = (
+            Journal(journal_path(suite, journal_dir))
+            if journal_dir is not None
+            else None
+        )
+        #: Names executed (spawned) by the most recent :meth:`run`.
+        self.executed: list[str] = []
+        #: Names satisfied from the journal by the most recent :meth:`run`.
+        self.resumed: list[str] = []
+        #: Every per-attempt failure observed, for diagnostics.
+        self.failure_log: list[ScenarioError] = []
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self, scenarios: list[Scenario], workers: int = 1, resume: bool = False
+    ) -> RunnerReport:
+        """Run every scenario under supervision; never raises mid-suite.
+
+        ``workers`` is the number of concurrently running worker processes
+        (each attempt always gets a fresh spawned process).  With
+        ``resume=True`` and a journal configured, journaled completions are
+        verified and skipped.  Quarantined scenarios appear in
+        ``report.quarantined``; everything else in ``report.results`` in
+        input order.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        names = [s.name for s in scenarios]
+        if len(set(names)) != len(names):
+            raise ValueError(f"scenario names must be unique, got {names}")
+        self.executed = []
+        self.resumed = []
+        self.failure_log = []
+
+        done: dict[str, ScenarioResult] = {}
+        if resume:
+            if self.journal is None:
+                raise ValueError("resume=True requires a journal_dir")
+            done = self.journal.completed(scenarios, self.suite)
+            self.resumed = [s.name for s in scenarios if s.name in done]
+
+        start = time.perf_counter()
+        quarantined = self._supervise(
+            [s for s in scenarios if s.name not in done], workers, done
+        )
+        total = time.perf_counter() - start
+
+        results = tuple(done[s.name] for s in scenarios if s.name in done)
+        failures = tuple(
+            quarantined[s.name] for s in scenarios if s.name in quarantined
+        )
+        return RunnerReport(
+            suite=self.suite,
+            workers=workers,
+            results=results,
+            total_wall_seconds=total,
+            quarantined=failures,
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _supervise(
+        self,
+        scenarios: list[Scenario],
+        workers: int,
+        done: dict[str, ScenarioResult],
+    ) -> dict[str, ScenarioFailure]:
+        context = multiprocessing.get_context("spawn")
+        pending: deque[tuple[Scenario, int]] = deque((s, 1) for s in scenarios)
+        delayed: list[tuple[float, Scenario, int]] = []  # (ready_at, s, attempt)
+        in_flight: list[_InFlight] = []
+        quarantined: dict[str, ScenarioFailure] = {}
+
+        while pending or delayed or in_flight:
+            now = time.monotonic()
+            for item in [d for d in delayed if d[0] <= now]:
+                delayed.remove(item)
+                pending.append((item[1], item[2]))
+
+            while pending and len(in_flight) < workers:
+                scenario, attempt = pending.popleft()
+                in_flight.append(self._spawn(context, scenario, attempt))
+
+            finished: list[_InFlight] = []
+            for flight in in_flight:
+                outcome = self._poll(flight)
+                if outcome is None:
+                    continue
+                finished.append(flight)
+                kind, payload = outcome
+                if kind == "ok":
+                    name, summary, phases, wall = payload
+                    result = ScenarioResult(
+                        scenario=flight.scenario,
+                        summary=summary,
+                        phases=phases,
+                        wall_seconds=wall,
+                        attempts=flight.attempt,
+                    )
+                    done[name] = result
+                    if self.journal is not None:
+                        self.journal.append(
+                            JournalEntry(
+                                suite=self.suite,
+                                scenario=flight.scenario,
+                                summary=result.summary,
+                                phases=result.phases,
+                                wall_seconds=result.wall_seconds,
+                                attempts=result.attempts,
+                            )
+                        )
+                else:
+                    self._handle_failure(
+                        flight, kind, payload, pending, delayed, quarantined
+                    )
+            for flight in finished:
+                in_flight.remove(flight)
+
+            if in_flight or pending:
+                time.sleep(_TICK_SECONDS)
+            elif delayed:
+                wake = min(d[0] for d in delayed)
+                time.sleep(max(min(wake - time.monotonic(), 0.25), 0.0))
+        return quarantined
+
+    def _spawn(self, context, scenario: Scenario, attempt: int) -> _InFlight:
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_worker_main,
+            args=(scenario, child_conn),
+            name=f"repro-{self.suite}-{scenario.name}-a{attempt}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # parent keeps only the read end
+        self.executed.append(scenario.name)
+        timeout = self.config.timeout_seconds
+        return _InFlight(
+            scenario=scenario,
+            attempt=attempt,
+            process=process,
+            conn=parent_conn,
+            deadline=None if timeout is None else time.monotonic() + timeout,
+        )
+
+    def _poll(self, flight: _InFlight) -> tuple[str, object] | None:
+        """One non-blocking check: ``None`` if still running, else outcome.
+
+        Outcome kinds: ``("ok", payload)``, ``("error", message)``,
+        ``("crash", exitcode)``, ``("timeout", budget)``.
+        """
+        try:
+            if flight.conn.poll():
+                try:
+                    message = flight.conn.recv()
+                except EOFError:
+                    message = None
+                self._reap(flight)
+                if message is not None:
+                    return message  # ("ok", payload) or ("error", text)
+                return ("crash", flight.process.exitcode)
+        except (OSError, ValueError):
+            self._reap(flight)
+            return ("crash", flight.process.exitcode)
+        if not flight.process.is_alive():
+            self._reap(flight)
+            return ("crash", flight.process.exitcode)
+        if flight.deadline is not None and time.monotonic() > flight.deadline:
+            flight.process.kill()
+            self._reap(flight)
+            return ("timeout", self.config.timeout_seconds)
+        return None
+
+    @staticmethod
+    def _reap(flight: _InFlight) -> None:
+        flight.process.join(timeout=5.0)
+        try:
+            flight.conn.close()
+        except Exception:
+            pass
+
+    def _handle_failure(
+        self,
+        flight: _InFlight,
+        kind: str,
+        payload,
+        pending: deque,
+        delayed: list,
+        quarantined: dict[str, ScenarioFailure],
+    ) -> None:
+        name = flight.scenario.name
+        if kind == "timeout":
+            error: ScenarioError = ScenarioTimeout(
+                f"scenario {name!r} exceeded its wall-clock budget",
+                scenario=name,
+                attempt=flight.attempt,
+                timeout_seconds=payload,
+            )
+        elif kind == "crash":
+            error = ScenarioCrash(
+                f"worker for scenario {name!r} died without reporting",
+                scenario=name,
+                attempt=flight.attempt,
+                exitcode=payload,
+            )
+        else:
+            error = ScenarioFailed(
+                f"scenario {name!r} raised: {payload}",
+                scenario=name,
+                attempt=flight.attempt,
+            )
+        self.failure_log.append(error)
+
+        if flight.attempt >= self.config.max_attempts:
+            quarantined[name] = ScenarioFailure(
+                scenario=flight.scenario,
+                kind=kind if kind in ("timeout", "crash") else "error",
+                attempts=flight.attempt,
+                message=str(error),
+            )
+            return
+        delay = backoff_delay(name, flight.attempt, self.config)
+        delayed.append((time.monotonic() + delay, flight.scenario, flight.attempt + 1))

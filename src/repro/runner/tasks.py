@@ -358,3 +358,9 @@ def consolidation_task(params: dict) -> dict:
         },
         "phases": {"consolidate": elapsed},
     }
+
+
+# The worker-fault injection task ("transient_fault") lives with the fault
+# catalog; importing it here guarantees spawn workers — which only import
+# this module on a registry miss — see it too.
+import repro.resilience.scenarios  # noqa: E402,F401

@@ -27,6 +27,7 @@ from repro.simulation.metrics import (
     TaskRestart,
 )
 from repro.simulation.cluster import ClusterSimulator, ClusterConfig
+from repro.simulation.degradation import DEGRADATION_LEVELS, DegradationLadder
 from repro.simulation.timing import PhaseTimer
 from repro.simulation.harmony import (
     HarmonyConfig,
@@ -52,6 +53,8 @@ __all__ = [
     "TaskRestart",
     "ClusterSimulator",
     "ClusterConfig",
+    "DEGRADATION_LEVELS",
+    "DegradationLadder",
     "PhaseTimer",
     "HarmonyConfig",
     "HarmonySimulation",

@@ -1,0 +1,96 @@
+"""Control-plane degradation ladder for the MPC path.
+
+When CBS-RELAX (or anything else inside one control tick of Algorithm 1)
+fails, the control plane must not take the simulation down with it — a
+production provisioning loop degrades, it does not crash.  The ladder has
+three rungs, tried in order every tick:
+
+========  ===========  ====================================================
+level     name         what decides
+========  ===========  ====================================================
+0         ``mpc``      the full relax-solve + rounding pipeline (Algorithm 1)
+1         ``threshold``  a reactive :class:`ThresholdAutoscaler` over the
+                       *observed* demand — no forecasts, no LP
+2         ``hold``     the last-known-good decision, re-stamped (or "keep
+                       current power" before any decision succeeded)
+========  ===========  ====================================================
+
+Every tick's rung is recorded as ``(time, level, reason)`` — copied onto
+:attr:`SimulationMetrics.degradation_timeline` after the run and surfaced
+in ``summary()["resilience"]["degradation"]`` — so a run that quietly
+spent half its ticks on rung 1 is visible in every report.
+
+This ladder complements (and sits *inside*) the
+:class:`~repro.resilience.guard.GuardedController`: the guard defends
+against bad decisions and bad forecasts from outside the policy; the
+ladder keeps the policy producing decisions at all when its solver fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Callable
+
+from repro.provisioning.autoscaler import ThresholdAutoscaler
+from repro.provisioning.controller import ProvisioningDecision
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.cluster import ClusterView
+
+#: Rung index -> name, in degradation order.
+DEGRADATION_LEVELS = ("mpc", "threshold", "hold")
+
+
+class DegradationLadder:
+    """Steps a failing control tick down: mpc -> threshold -> hold."""
+
+    def __init__(self, fallback: ThresholdAutoscaler) -> None:
+        self.fallback = fallback
+        #: (time, level, reason) per control tick; reason is "" at level 0.
+        self.timeline: list[tuple[float, int, str]] = []
+        self._last_good: ProvisioningDecision | None = None
+
+    @staticmethod
+    def _reason(exc: BaseException) -> str:
+        code = getattr(exc, "code", type(exc).__name__)
+        return f"{code}: {exc}"
+
+    def decide(
+        self,
+        view: "ClusterView",
+        primary: Callable[[], ProvisioningDecision],
+    ) -> ProvisioningDecision:
+        """One tick: run ``primary``, stepping down the ladder on failure."""
+        try:
+            decision = primary()
+        except Exception as exc:  # noqa: BLE001 — any solver-path failure
+            decision = self._degraded(view, self._reason(exc))
+        else:
+            self.timeline.append((view.time, 0, ""))
+        self._last_good = decision
+        return decision
+
+    def _degraded(self, view: "ClusterView", reason: str) -> ProvisioningDecision:
+        try:
+            decision = self.fallback.decide(
+                view.time,
+                view.demand_cpu,
+                view.demand_memory,
+                powered=view.powered,
+                available=view.available,
+            )
+        except Exception as exc:  # noqa: BLE001 — rung 1 failed too
+            self.timeline.append(
+                (view.time, 2, f"{reason}; then {self._reason(exc)}")
+            )
+            return self._hold(view)
+        self.timeline.append((view.time, 1, reason))
+        return decision
+
+    def _hold(self, view: "ClusterView") -> ProvisioningDecision:
+        """Rung 2: re-stamp the last-known-good plan, or keep current power."""
+        if self._last_good is not None:
+            return replace(self._last_good, time=view.time)
+        return ProvisioningDecision(
+            time=view.time, active=dict(view.powered), quotas=None
+        )

@@ -30,6 +30,7 @@ from repro.provisioning.controller import (
 from repro.resilience.faults import FaultPlan, FaultStats
 from repro.resilience.guard import GuardConfig, GuardedController, GuardStats
 from repro.simulation.cluster import ClusterConfig, ClusterSimulator, ClusterView
+from repro.simulation.degradation import DegradationLadder
 from repro.simulation.metrics import SimulationMetrics
 from repro.simulation.timing import PhaseTimer
 from repro.trace.schema import PriorityGroup, Task, Trace
@@ -103,15 +104,22 @@ class _ControllerPolicy:
     short and long sub-classes using the classifier's historical long
     fractions — every task is labeled short at arrival (Section V), so raw
     counts would starve the long classes the forecasts must provision for.
+
+    ``ladder`` (a :class:`~repro.simulation.degradation.DegradationLadder`)
+    makes every control tick total: if CBS-RELAX fails mid-run the tick
+    degrades to reactive threshold provisioning, and to the last-known-good
+    plan if that fails too, instead of raising out of the simulation.
     """
 
     def __init__(
         self,
         controller: HarmonyController,
         arrival_splitter=None,
+        ladder: DegradationLadder | None = None,
     ) -> None:
         self.controller = controller
         self.arrival_splitter = arrival_splitter
+        self.ladder = ladder
 
     def observe_view(self, view: ClusterView) -> None:
         """Feed observed arrivals to the predictors without deciding.
@@ -127,14 +135,20 @@ class _ControllerPolicy:
 
     def decide(self, view: ClusterView) -> ProvisioningDecision:
         self.observe_view(view)
-        return self.controller.decide(
-            view.time,
-            backlog=view.backlog,
-            available=view.available,
-            running=view.running,
-            running_by_platform=view.running_by_platform,
-            powered=view.powered,
-        )
+
+        def solve() -> ProvisioningDecision:
+            return self.controller.decide(
+                view.time,
+                backlog=view.backlog,
+                available=view.available,
+                running=view.running,
+                running_by_platform=view.running_by_platform,
+                powered=view.powered,
+            )
+
+        if self.ladder is None:
+            return solve()
+        return self.ladder.decide(view, solve)
 
 
 class _BaselinePolicy:
@@ -250,6 +264,11 @@ class SimulationResult:
                 "invalid_decisions": (
                     self.guard_stats.invalid_decisions if self.guard_stats else 0
                 ),
+                "degradation": {
+                    "max_level": self.metrics.max_degradation_level(),
+                    "degraded_ticks": self.metrics.degraded_ticks(),
+                    "levels": self.metrics.degradation_level_counts(),
+                },
             },
         }
 
@@ -403,7 +422,12 @@ class HarmonySimulation:
             cls = HarmonyController if config.policy == "cbs" else CbpController
             controller = cls(config.fleet, self.manager, controller_config)
             controller.prime(self._historical_interval_counts())
-            return _ControllerPolicy(controller, arrival_splitter=self.split_arrivals)
+            ladder = DegradationLadder(
+                ThresholdAutoscaler(config.fleet, ThresholdConfig())
+            )
+            return _ControllerPolicy(
+                controller, arrival_splitter=self.split_arrivals, ladder=ladder
+            )
         if config.policy == "baseline":
             return _BaselinePolicy(
                 BaselineProvisioner(
@@ -453,6 +477,8 @@ class HarmonySimulation:
             decisions = decisions or inner.autoscaler.decisions
         elif isinstance(inner, _ControllerPolicy):
             decisions = decisions or inner.controller.decisions
+            if inner.ladder is not None:
+                metrics.degradation_timeline.extend(inner.ladder.timeline)
             for decision in decisions:
                 by_group: dict[PriorityGroup, int] = {g: 0 for g in PriorityGroup}
                 for class_id, demand in decision.demand.items():

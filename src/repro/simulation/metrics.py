@@ -88,6 +88,11 @@ class SimulationMetrics:
     restart_events: list[TaskRestart] = field(default_factory=list)
     #: Per-tick fleet health samples.
     fault_timeline: list[FaultSample] = field(default_factory=list)
+    #: (time, ladder level, reason) per MPC control tick — which rung of
+    #: the control-plane degradation ladder (0 = mpc, 1 = threshold,
+    #: 2 = hold; see :mod:`repro.simulation.degradation`) produced each
+    #: decision.  Empty for non-MPC policies.
+    degradation_timeline: list[tuple[float, int, str]] = field(default_factory=list)
     #: machine_id -> open failure episode awaiting recovery.
     _open_failures: dict[int, MachineFailure] = field(default_factory=dict, repr=False)
     #: task uid -> open restart episode awaiting re-placement.
@@ -288,6 +293,25 @@ class SimulationMetrics:
             if delay <= bound_seconds:
                 hits += 1
         return hits / total if total else 1.0
+
+    def max_degradation_level(self) -> int:
+        """Worst control-plane ladder rung hit during the run (0 if clean)."""
+        if not self.degradation_timeline:
+            return 0
+        return max(level for _, level, _ in self.degradation_timeline)
+
+    def degraded_ticks(self) -> int:
+        """Control ticks decided below the full MPC path (level > 0)."""
+        return sum(1 for _, level, _ in self.degradation_timeline if level > 0)
+
+    def degradation_level_counts(self) -> dict[str, int]:
+        """Ladder level name -> tick count (zeros for unused levels)."""
+        from repro.simulation.degradation import DEGRADATION_LEVELS
+
+        counts = {name: 0 for name in DEGRADATION_LEVELS}
+        for _, level, _ in self.degradation_timeline:
+            counts[DEGRADATION_LEVELS[level]] += 1
+        return counts
 
     def containers_series(self) -> tuple[np.ndarray, dict[PriorityGroup, np.ndarray]]:
         """(times, per-group container counts) arrays (Fig. 20)."""

@@ -1,0 +1,181 @@
+"""Tests for the control-plane degradation ladder (repro.simulation.degradation).
+
+Unit tests drive :class:`DegradationLadder` directly with stub views and
+fallbacks to pin the rung semantics (mpc -> threshold -> hold, last-known-
+good replay, reason strings).  The integration test forces CBS-RELAX to
+fail mid-simulation and asserts the run completes without an unhandled
+exception, with the ladder levels surfaced in ``summary()``.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.classification import ClassifierConfig, TaskClassifier
+from repro.errors import SolverInfeasible
+from repro.provisioning.controller import ProvisioningDecision
+from repro.provisioning.relax import CbsRelaxSolver
+from repro.simulation import (
+    DEGRADATION_LEVELS,
+    DegradationLadder,
+    HarmonyConfig,
+    HarmonySimulation,
+)
+from repro.trace import SyntheticTraceConfig, generate_trace
+
+
+def _view(time=600.0, powered=None):
+    return SimpleNamespace(
+        time=time,
+        demand_cpu=10.0,
+        demand_memory=8.0,
+        powered=powered if powered is not None else {0: 5, 1: 3},
+        available={0: 10, 1: 10},
+    )
+
+
+class _FallbackStub:
+    """Stands in for ThresholdAutoscaler; optionally fails too."""
+
+    def __init__(self, fail=False):
+        self.fail = fail
+        self.calls = 0
+
+    def decide(self, time, cpu, memory, powered=None, available=None):
+        self.calls += 1
+        if self.fail:
+            raise RuntimeError("threshold path down")
+        return ProvisioningDecision(time=time, active={0: 7, 1: 2}, quotas=None)
+
+
+def _good_decision(time=600.0):
+    return ProvisioningDecision(time=time, active={0: 4, 1: 4}, quotas=None)
+
+
+class TestDegradationLadderUnits:
+    def test_level_names(self):
+        assert DEGRADATION_LEVELS == ("mpc", "threshold", "hold")
+
+    def test_level0_primary_success(self):
+        ladder = DegradationLadder(_FallbackStub())
+        decision = ladder.decide(_view(), lambda: _good_decision())
+        assert decision.active == {0: 4, 1: 4}
+        assert ladder.timeline == [(600.0, 0, "")]
+        assert ladder.fallback.calls == 0
+
+    def test_level1_falls_back_to_threshold(self):
+        ladder = DegradationLadder(_FallbackStub())
+
+        def primary():
+            raise SolverInfeasible("LP failed", status=2)
+
+        decision = ladder.decide(_view(), primary)
+        assert decision.active == {0: 7, 1: 2}
+        (time, level, reason), = ladder.timeline
+        assert (time, level) == (600.0, 1)
+        assert reason.startswith("solver_infeasible:")
+
+    def test_level2_holds_last_known_good(self):
+        ladder = DegradationLadder(_FallbackStub(fail=True))
+        ladder.decide(_view(time=300.0), lambda: _good_decision(300.0))
+
+        def primary():
+            raise SolverInfeasible("LP failed", status=2)
+
+        decision = ladder.decide(_view(time=600.0), primary)
+        # Last-known-good plan replayed, re-stamped with the current tick.
+        assert decision.active == {0: 4, 1: 4}
+        assert decision.time == 600.0
+        assert ladder.timeline[-1][1] == 2
+        assert "then" in ladder.timeline[-1][2]
+
+    def test_level2_without_history_keeps_current_power(self):
+        ladder = DegradationLadder(_FallbackStub(fail=True))
+        view = _view(powered={0: 6, 1: 1})
+        decision = ladder.decide(view, _raise_infeasible)
+        assert decision.active == {0: 6, 1: 1}
+        assert decision.quotas is None
+        (time, level, reason), = ladder.timeline
+        assert (time, level) == (600.0, 2)
+        assert "then" in reason
+
+    def test_degraded_decision_becomes_next_hold_plan(self):
+        # A threshold (level-1) decision is itself last-known-good for a
+        # later level-2 hold.
+        flaky_fallback = _FallbackStub()
+        ladder = DegradationLadder(flaky_fallback)
+        ladder.decide(_view(time=300.0), _raise_infeasible)  # level 1
+        flaky_fallback.fail = True
+        decision = ladder.decide(_view(time=600.0), _raise_infeasible)  # level 2
+        assert decision.active == {0: 7, 1: 2}
+        assert [level for _, level, _ in ladder.timeline] == [1, 2]
+
+
+def _raise_infeasible():
+    raise SolverInfeasible("LP failed", status=2)
+
+
+class TestForcedSolverFailureIntegration:
+    def test_mid_run_relax_failure_degrades_not_crashes(self, monkeypatch):
+        trace = generate_trace(
+            SyntheticTraceConfig(
+                horizon_hours=0.5, seed=11, total_machines=120, load_factor=0.4
+            )
+        )
+        classifier = TaskClassifier(ClassifierConfig(seed=11)).fit(list(trace.tasks))
+
+        real_solve = CbsRelaxSolver.solve
+        calls = {"n": 0}
+
+        def flaky_solve(self, *args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] in (3, 4):
+                raise SolverInfeasible("forced failure for test", status=99)
+            return real_solve(self, *args, **kwargs)
+
+        monkeypatch.setattr(CbsRelaxSolver, "solve", flaky_solve)
+
+        config = HarmonyConfig(policy="cbs", predictor="ewma")
+        result = HarmonySimulation(config, trace, classifier=classifier).run()
+
+        degradation = result.summary()["resilience"]["degradation"]
+        assert degradation["max_level"] == 1
+        assert degradation["degraded_ticks"] == 2
+        assert degradation["levels"]["threshold"] == 2
+        assert degradation["levels"]["mpc"] >= 1
+        assert degradation["levels"]["hold"] == 0
+
+        timeline = result.metrics.degradation_timeline
+        degraded = [(t, lvl, reason) for t, lvl, reason in timeline if lvl > 0]
+        assert len(degraded) == 2
+        assert all("solver_infeasible" in reason for _, _, reason in degraded)
+
+    def test_clean_run_reports_level_zero(self):
+        trace = generate_trace(
+            SyntheticTraceConfig(
+                horizon_hours=0.25, seed=3, total_machines=60, load_factor=0.4
+            )
+        )
+        config = HarmonyConfig(policy="cbs", predictor="ewma")
+        result = HarmonySimulation(config, trace).run()
+        degradation = result.summary()["resilience"]["degradation"]
+        assert degradation["max_level"] == 0
+        assert degradation["degraded_ticks"] == 0
+        assert degradation["levels"]["threshold"] == 0
+        assert degradation["levels"]["hold"] == 0
+        assert degradation["levels"]["mpc"] == len(
+            result.metrics.degradation_timeline
+        )
+
+    def test_non_mpc_policy_has_empty_timeline(self):
+        trace = generate_trace(
+            SyntheticTraceConfig(
+                horizon_hours=0.25, seed=3, total_machines=60, load_factor=0.4
+            )
+        )
+        config = HarmonyConfig(policy="threshold")
+        result = HarmonySimulation(config, trace).run()
+        assert result.metrics.degradation_timeline == []
+        degradation = result.summary()["resilience"]["degradation"]
+        assert degradation["max_level"] == 0
+        assert degradation["degraded_ticks"] == 0

@@ -1,0 +1,82 @@
+"""Tests for the structured error taxonomy (repro.errors).
+
+Pins the stable ``code`` strings, the context-rendering ``__str__``, and
+the compatibility MRO that keeps pre-taxonomy ``except RuntimeError`` /
+``except ValueError`` call sites working.
+"""
+
+import pytest
+
+from repro.errors import (
+    JournalCorrupt,
+    NonFiniteSummary,
+    ReproError,
+    ScenarioCrash,
+    ScenarioError,
+    ScenarioFailed,
+    ScenarioTimeout,
+    SolverError,
+    SolverInfeasible,
+    TraceCorrupt,
+)
+
+
+class TestHierarchy:
+    def test_scenario_family(self):
+        for cls in (ScenarioTimeout, ScenarioCrash, ScenarioFailed):
+            assert issubclass(cls, ScenarioError)
+            assert issubclass(cls, ReproError)
+
+    def test_solver_infeasible_is_runtime_error(self):
+        assert issubclass(SolverInfeasible, SolverError)
+        # Legacy call sites caught RuntimeError from the LP layer.
+        assert issubclass(SolverInfeasible, RuntimeError)
+        with pytest.raises(RuntimeError):
+            raise SolverInfeasible("LP failed", status=2)
+
+    def test_non_finite_summary_is_value_error(self):
+        assert issubclass(NonFiniteSummary, TraceCorrupt)
+        # Legacy call sites caught ValueError from json.dumps.
+        assert issubclass(NonFiniteSummary, ValueError)
+        with pytest.raises(ValueError):
+            raise NonFiniteSummary("NaN in summary")
+
+    def test_journal_corrupt_is_trace_corrupt(self):
+        assert issubclass(JournalCorrupt, TraceCorrupt)
+
+
+class TestCodes:
+    @pytest.mark.parametrize(
+        ("cls", "code"),
+        [
+            (ReproError, "repro_error"),
+            (ScenarioError, "scenario_error"),
+            (ScenarioTimeout, "scenario_timeout"),
+            (ScenarioCrash, "scenario_crash"),
+            (ScenarioFailed, "scenario_failed"),
+            (SolverError, "solver_error"),
+            (SolverInfeasible, "solver_infeasible"),
+            (TraceCorrupt, "trace_corrupt"),
+            (NonFiniteSummary, "non_finite_summary"),
+            (JournalCorrupt, "journal_corrupt"),
+        ],
+    )
+    def test_stable_code(self, cls, code):
+        assert cls.code == code
+
+
+class TestContext:
+    def test_context_kept_and_rendered(self):
+        error = ScenarioTimeout(
+            "scenario hung", scenario="relax_s0", attempt=2, timeout_seconds=1.5
+        )
+        assert error.context == {
+            "scenario": "relax_s0", "attempt": 2, "timeout_seconds": 1.5
+        }
+        rendered = str(error)
+        assert rendered.startswith("scenario hung (")
+        assert "scenario='relax_s0'" in rendered
+        assert "attempt=2" in rendered
+
+    def test_plain_message_without_context(self):
+        assert str(ReproError("plain")) == "plain"

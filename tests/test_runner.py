@@ -9,14 +9,19 @@ import json
 
 import pytest
 
+from repro.errors import NonFiniteSummary
 from repro.resilience import FaultPlan
 from repro.resilience.scenarios import SCENARIOS, build_scenario_plan
 from repro.runner import (
     BenchDefaults,
+    RunnerReport,
     Scenario,
+    ScenarioFailure,
+    ScenarioResult,
     ScenarioRunner,
     baseline_payload,
     bench_defaults,
+    canonical_json,
     get_task,
     registered_tasks,
     summary_digest,
@@ -134,6 +139,71 @@ class TestBaseline:
     def test_summary_digest_is_order_insensitive(self):
         assert summary_digest({"a": 1, "b": 2}) == summary_digest({"b": 2, "a": 1})
         assert summary_digest({"a": 1}) != summary_digest({"a": 2})
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_digest_rejects_non_finite_floats(self, bad):
+        with pytest.raises(NonFiniteSummary):
+            summary_digest({"value": bad})
+        with pytest.raises(NonFiniteSummary):
+            canonical_json({"nested": {"deep": [1.0, bad]}})
+        # Compatibility: pre-taxonomy callers caught json.dumps' ValueError.
+        with pytest.raises(ValueError):
+            summary_digest({"value": bad})
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1.5, "x"]}) == '{"a":[1.5,"x"],"b":1}'
+
+
+def _zero_wall_report(quarantined=()):
+    """A report whose total wall is 0.0 — the divide-by-zero edge."""
+    result = ScenarioResult(
+        scenario=SMALL[0],
+        summary={"tasks_submitted": 100},
+        phases={},
+        wall_seconds=0.0,
+    )
+    return RunnerReport(
+        suite="unit",
+        workers=1,
+        results=(result,),
+        total_wall_seconds=0.0,
+        quarantined=quarantined,
+    )
+
+
+class TestReportEdgeCases:
+    def test_tasks_per_second_zero_wall_returns_zero(self):
+        assert _zero_wall_report().tasks_per_second() == 0.0
+
+    def test_empty_report_throughput_is_zero(self):
+        report = RunnerReport(
+            suite="unit", workers=1, results=(), total_wall_seconds=0.0
+        )
+        assert report.tasks_per_second() == 0.0
+        assert report.serial_seconds == 0.0
+
+    def test_speedup_vs_serial_zero_wall_is_zero(self):
+        report = _zero_wall_report()
+        payload = baseline_payload(report, compare_serial=report)
+        assert payload["speedup_vs_serial"] == 0.0
+        assert payload["tasks_per_second"] == 0.0
+
+    def test_quarantined_always_serialized(self):
+        payload = baseline_payload(_zero_wall_report())
+        assert payload["quarantined"] == []
+        failure = ScenarioFailure(
+            scenario=SMALL[1], kind="timeout", attempts=3, message="hung"
+        )
+        payload = baseline_payload(_zero_wall_report(quarantined=(failure,)))
+        assert payload["quarantined"] == [
+            {"name": SMALL[1].name, "kind": "timeout", "attempts": 3}
+        ]
+
+    def test_attempts_excluded_from_baseline_payload(self):
+        # Retried-then-recovered runs must stay byte-identical to clean
+        # ones; the attempt count therefore never reaches BENCH JSON.
+        payload = baseline_payload(_zero_wall_report())
+        assert "attempts" not in payload["scenarios"][0]
 
 
 class TestBenchDefaults:

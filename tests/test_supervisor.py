@@ -1,0 +1,331 @@
+"""Tests for supervised, crash-safe scenario execution (repro.runner.supervisor).
+
+Covers the deterministic backoff schedule, the supervisor's retry /
+timeout / quarantine semantics (driven through the shipped
+``transient_fault`` injection task so spawned workers can resolve it), the
+digest-invariance contract — a scenario that fails transiently and
+succeeds on retry must produce the same summary digest as an
+uninterrupted run — and the crash-safe journal's append / verify / resume
+behaviour, including torn-tail tolerance and corruption detection.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    JournalCorrupt,
+    ScenarioCrash,
+    ScenarioFailed,
+    ScenarioTimeout,
+)
+from repro.resilience import transient_fault_scenario
+from repro.runner import (
+    Journal,
+    JournalEntry,
+    Scenario,
+    ScenarioRunner,
+    ScenarioSupervisor,
+    SupervisorConfig,
+    backoff_delay,
+    baseline_payload,
+    canonical_json,
+    journal_path,
+)
+
+#: One tiny LP solve — the cheapest spawnable unit of real work.
+TINY = Scenario(
+    name="relax_tiny",
+    task="relax_solve",
+    params={"num_classes": 4, "num_types": 2, "W": 2, "seed": 0, "repeats": 1},
+)
+TINY2 = Scenario(
+    name="relax_tiny2",
+    task="relax_solve",
+    params={"num_classes": 4, "num_types": 2, "W": 2, "seed": 1, "repeats": 1},
+)
+
+#: Keep retry waits negligible in tests.
+FAST = SupervisorConfig(backoff_base_seconds=0.01, backoff_cap_seconds=0.05)
+
+
+def tiny_digest(scenario=TINY) -> str:
+    """Digest of an uninterrupted in-process run, the invariance reference."""
+    return ScenarioRunner("ref").run([scenario], workers=1)[scenario.name].digest()
+
+
+class TestBackoffDelay:
+    def test_deterministic_across_calls(self):
+        config = SupervisorConfig()
+        assert backoff_delay("s", 1, config) == backoff_delay("s", 1, config)
+        assert backoff_delay("s", 2, config) == backoff_delay("s", 2, config)
+
+    def test_decorrelated_across_scenarios(self):
+        config = SupervisorConfig()
+        assert backoff_delay("relax_a", 1, config) != backoff_delay("relax_b", 1, config)
+
+    def test_exponential_and_capped(self):
+        config = SupervisorConfig(
+            backoff_base_seconds=0.1, backoff_factor=2.0,
+            backoff_cap_seconds=1.0, jitter_fraction=0.0,
+        )
+        assert backoff_delay("s", 1, config) == pytest.approx(0.1)
+        assert backoff_delay("s", 2, config) == pytest.approx(0.2)
+        assert backoff_delay("s", 10, config) == pytest.approx(1.0)  # capped
+
+    def test_jitter_bounded(self):
+        config = SupervisorConfig(
+            backoff_base_seconds=0.1, backoff_cap_seconds=10.0, jitter_fraction=0.25
+        )
+        for attempt in range(1, 6):
+            delay = backoff_delay("s", attempt, config)
+            base = min(10.0, 0.1 * 2.0 ** (attempt - 1))
+            assert base <= delay <= base * 1.25
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError, match="attempt"):
+            backoff_delay("s", 0, SupervisorConfig())
+
+
+class TestSupervisorConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timeout_seconds": 0.0},
+            {"timeout_seconds": -1.0},
+            {"max_attempts": 0},
+            {"backoff_base_seconds": -0.1},
+            {"backoff_factor": 0.5},
+            {"backoff_cap_seconds": -1.0},
+            {"jitter_fraction": -0.1},
+            {"jitter_fraction": 1.5},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisorConfig(**kwargs)
+
+
+class TestSupervisorRun:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            ScenarioSupervisor("unit").run([TINY], workers=0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            ScenarioSupervisor("unit").run([TINY, TINY])
+
+    def test_resume_requires_journal_dir(self):
+        with pytest.raises(ValueError, match="journal_dir"):
+            ScenarioSupervisor("unit").run([TINY], resume=True)
+
+    def test_clean_run_matches_plain_runner(self, tmp_path):
+        supervisor = ScenarioSupervisor("unit", FAST, journal_dir=tmp_path)
+        report = supervisor.run([TINY])
+        assert report.quarantined == ()
+        assert report["relax_tiny"].attempts == 1
+        assert report["relax_tiny"].digest() == tiny_digest()
+        assert journal_path("unit", tmp_path).exists()
+
+    def test_transient_raise_retried_with_identical_digest(self, tmp_path):
+        scenario = transient_fault_scenario(
+            "flaky_raise", TINY, tmp_path / "markers", fail_attempts=1, mode="raise"
+        )
+        supervisor = ScenarioSupervisor("unit", FAST)
+        report = supervisor.run([scenario])
+        assert report.quarantined == ()
+        result = report["flaky_raise"]
+        assert result.attempts == 2
+        # The invariance contract: recovery is indistinguishable from a
+        # run that never failed.
+        assert result.digest() == tiny_digest()
+        assert [type(e) for e in supervisor.failure_log] == [ScenarioFailed]
+
+    def test_worker_kill_detected_and_respawned(self, tmp_path):
+        scenario = transient_fault_scenario(
+            "flaky_kill", TINY, tmp_path / "markers", fail_attempts=1, mode="kill"
+        )
+        supervisor = ScenarioSupervisor("unit", FAST)
+        report = supervisor.run([scenario])
+        assert report.quarantined == ()
+        assert report["flaky_kill"].attempts == 2
+        assert report["flaky_kill"].digest() == tiny_digest()
+        assert [type(e) for e in supervisor.failure_log] == [ScenarioCrash]
+
+    def test_hung_scenario_times_out_into_quarantine(self, tmp_path):
+        scenario = transient_fault_scenario(
+            "hung", TINY, tmp_path / "markers",
+            fail_attempts=99, mode="hang", hang_seconds=60.0,
+        )
+        config = SupervisorConfig(
+            timeout_seconds=0.75, max_attempts=2,
+            backoff_base_seconds=0.01, backoff_cap_seconds=0.05,
+        )
+        report = ScenarioSupervisor("unit", config).run([scenario])
+        assert report.results == ()
+        assert len(report.quarantined) == 1
+        failure = report.quarantined[0]
+        assert (failure.name, failure.kind, failure.attempts) == ("hung", "timeout", 2)
+
+    def test_persistent_error_quarantined_without_sinking_suite(self, tmp_path):
+        bad = transient_fault_scenario(
+            "always_bad", TINY, tmp_path / "markers", fail_attempts=99, mode="raise"
+        )
+        config = SupervisorConfig(
+            max_attempts=2, backoff_base_seconds=0.01, backoff_cap_seconds=0.05
+        )
+        report = ScenarioSupervisor("unit", config).run([bad, TINY], workers=2)
+        # The healthy neighbour still completes; the poison scenario is
+        # reported, not raised.
+        assert [r.name for r in report.results] == ["relax_tiny"]
+        assert [f.name for f in report.quarantined] == ["always_bad"]
+        assert report.quarantined[0].kind == "error"
+        payload = baseline_payload(report)
+        assert payload["quarantined"] == [
+            {"name": "always_bad", "kind": "error", "attempts": 2}
+        ]
+
+    def test_timeout_failures_logged_as_scenario_timeout(self, tmp_path):
+        scenario = transient_fault_scenario(
+            "hung_log", TINY, tmp_path / "markers",
+            fail_attempts=99, mode="hang", hang_seconds=60.0,
+        )
+        config = SupervisorConfig(
+            timeout_seconds=0.75, max_attempts=1, backoff_base_seconds=0.01
+        )
+        supervisor = ScenarioSupervisor("unit", config)
+        supervisor.run([scenario])
+        assert [type(e) for e in supervisor.failure_log] == [ScenarioTimeout]
+        assert supervisor.failure_log[0].context["timeout_seconds"] == 0.75
+
+
+class TestJournalResume:
+    def test_interrupted_suite_resumes_to_identical_digests(self, tmp_path):
+        suite = [TINY, TINY2]
+        reference = ScenarioRunner("ref").run(suite, workers=1).digests()
+
+        # "Interrupted" run: only the first scenario completed before the
+        # (simulated) kill.
+        first = ScenarioSupervisor("bench", FAST, journal_dir=tmp_path)
+        first.run([TINY])
+
+        resumed = ScenarioSupervisor("bench", FAST, journal_dir=tmp_path)
+        report = resumed.run(suite, resume=True)
+        assert resumed.resumed == ["relax_tiny"]
+        assert resumed.executed == ["relax_tiny2"]
+        assert [r.name for r in report.results] == ["relax_tiny", "relax_tiny2"]
+        assert report.digests() == reference
+
+    def test_full_resume_executes_nothing(self, tmp_path):
+        supervisor = ScenarioSupervisor("bench", FAST, journal_dir=tmp_path)
+        original = supervisor.run([TINY])
+
+        again = ScenarioSupervisor("bench", FAST, journal_dir=tmp_path)
+        report = again.run([TINY], resume=True)
+        assert again.executed == []
+        assert again.resumed == ["relax_tiny"]
+        assert report.digests() == original.digests()
+
+    def test_resume_ignores_entries_with_different_params(self, tmp_path):
+        supervisor = ScenarioSupervisor("bench", FAST, journal_dir=tmp_path)
+        supervisor.run([TINY])
+
+        changed = Scenario(
+            name=TINY.name, task=TINY.task, params={**TINY.params, "seed": 7}
+        )
+        again = ScenarioSupervisor("bench", FAST, journal_dir=tmp_path)
+        again.run([changed], resume=True)
+        assert again.resumed == []
+        assert again.executed == [changed.name]
+
+
+def _entry(name="s0", suite="unit", summary=None) -> JournalEntry:
+    return JournalEntry(
+        suite=suite,
+        scenario=Scenario(name=name, task="relax_solve", params={"seed": 0}),
+        summary=summary if summary is not None else {"value": 1.0},
+        phases={"solve": 0.1},
+        wall_seconds=0.123,
+        attempts=1,
+    )
+
+
+class TestJournal:
+    def test_append_load_round_trip(self, tmp_path):
+        journal = Journal(journal_path("unit", tmp_path))
+        journal.append(_entry("s0"))
+        journal.append(_entry("s1"))
+        entries = journal.load()
+        assert [e.scenario.name for e in entries] == ["s0", "s1"]
+        assert entries[0].to_result().summary == {"value": 1.0}
+
+    def test_missing_journal_loads_empty(self, tmp_path):
+        assert Journal(journal_path("unit", tmp_path)).load() == []
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        journal = Journal(journal_path("unit", tmp_path))
+        journal.append(_entry("s0"))
+        journal.append(_entry("s1"))
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"version":1,"suite":"unit","na')  # writer died here
+        entries = journal.load()
+        assert [e.scenario.name for e in entries] == ["s0", "s1"]
+
+    def test_tampered_line_raises_journal_corrupt(self, tmp_path):
+        journal = Journal(journal_path("unit", tmp_path))
+        journal.append(_entry("s0"))
+        journal.append(_entry("s1"))
+        lines = journal.path.read_text().splitlines()
+        lines[0] = lines[0].replace('"value":1.0', '"value":2.0')
+        journal.path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorrupt, match="line 1"):
+            journal.load()
+
+    def test_mid_file_garbage_raises_journal_corrupt(self, tmp_path):
+        journal = Journal(journal_path("unit", tmp_path))
+        journal.append(_entry("s0"))
+        lines = journal.path.read_text().splitlines()
+        journal.path.write_text("not json at all\n" + "\n".join(lines) + "\n")
+        with pytest.raises(JournalCorrupt, match="line 1"):
+            journal.load()
+
+    def test_wrong_version_raises_journal_corrupt(self, tmp_path):
+        import hashlib
+
+        record = _entry("s0").record()
+        record["version"] = 99
+        digest = hashlib.sha256(canonical_json(record).encode()).hexdigest()
+        path = journal_path("unit", tmp_path)
+        path.write_text(canonical_json({**record, "sha256": digest}) + "\n")
+        with pytest.raises(JournalCorrupt, match="version"):
+            Journal(path).load()
+
+    def test_matches_requires_suite_name_task_and_params(self):
+        entry = _entry("s0", suite="unit")
+        base = Scenario(name="s0", task="relax_solve", params={"seed": 0})
+        assert entry.matches(base, "unit")
+        assert not entry.matches(base, "other_suite")
+        assert not entry.matches(
+            Scenario(name="s1", task="relax_solve", params={"seed": 0}), "unit"
+        )
+        assert not entry.matches(
+            Scenario(name="s0", task="simulate", params={"seed": 0}), "unit"
+        )
+        assert not entry.matches(
+            Scenario(name="s0", task="relax_solve", params={"seed": 9}), "unit"
+        )
+
+    def test_later_entries_win(self, tmp_path):
+        journal = Journal(journal_path("unit", tmp_path))
+        journal.append(_entry("s0", summary={"value": 1.0}))
+        journal.append(_entry("s0", summary={"value": 5.0}))
+        scenario = Scenario(name="s0", task="relax_solve", params={"seed": 0})
+        done = journal.completed([scenario], "unit")
+        assert done["s0"].summary == {"value": 5.0}
+
+    def test_journal_lines_are_canonical_json(self, tmp_path):
+        journal = Journal(journal_path("unit", tmp_path))
+        journal.append(_entry("s0"))
+        line = journal.path.read_text().splitlines()[0]
+        payload = json.loads(line)
+        assert line == canonical_json(payload)
