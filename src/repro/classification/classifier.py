@@ -125,6 +125,15 @@ class TaskClassifier:
         self._group_models: dict[PriorityGroup, KMeans] = {}
         self._leaf_lookup: dict[tuple[PriorityGroup, int, DurationCategory], TaskClass] = {}
         self._fitted = False
+        #: Degenerate-input events absorbed during the last fit: K-means
+        #: empty-cluster reseeds, distinct-point collapses, and feature rows
+        #: dropped for being non-finite.  Surfaced in the simulation
+        #: summary's ``resilience.data_plane`` block.
+        self.degenerate_events: dict[str, int] = {
+            "kmeans_reseeds": 0,
+            "collapsed_fits": 0,
+            "nonfinite_features_dropped": 0,
+        }
 
     # ------------------------------------------------------------------ fit
 
@@ -135,12 +144,30 @@ class TaskClassifier:
         static_classes: list[StaticClass] = []
         leaves: list[TaskClass] = []
         class_id = 0
+        self.degenerate_events = {
+            "kmeans_reseeds": 0,
+            "collapsed_fits": 0,
+            "nonfinite_features_dropped": 0,
+        }
 
         for group in PriorityGroup:
             group_tasks = [t for t in tasks if t.priority_group is group]
             if not group_tasks:
                 continue
             features = static_features(group_tasks)
+            finite_rows = np.isfinite(features).all(axis=1)
+            if not finite_rows.all():
+                # A poisoned task (dirty trace upstream of the sanitizer)
+                # must not NaN every centroid in its group.
+                self.degenerate_events["nonfinite_features_dropped"] += int(
+                    (~finite_rows).sum()
+                )
+                group_tasks = [
+                    t for t, ok in zip(group_tasks, finite_rows) if ok
+                ]
+                if not group_tasks:
+                    continue
+                features = features[finite_rows]
             k = self.config.k_per_group.get(group)
             if k is None:
                 k, _ = select_k_elbow(
@@ -151,6 +178,7 @@ class TaskClassifier:
                 )
             model = KMeans(k=k, n_init=3, seed=self.config.seed)
             result = model.fit(features)
+            self._note_kmeans_result(result)
             self._group_models[group] = model
 
             for j in range(result.k):
@@ -206,6 +234,11 @@ class TaskClassifier:
         self._fitted = True
         return self
 
+    def _note_kmeans_result(self, result) -> None:
+        self.degenerate_events["kmeans_reseeds"] += result.reseeds
+        if result.collapsed:
+            self.degenerate_events["collapsed_fits"] += 1
+
     def _split_durations(
         self, durations: np.ndarray
     ) -> tuple[float, dict[DurationCategory, np.ndarray]]:
@@ -216,6 +249,7 @@ class TaskClassifier:
             # Too small or degenerate to split: everything is "short".
             return float("inf"), {DurationCategory.SHORT: np.ones(n, dtype=bool)}
         result = KMeans(k=2, n_init=3, seed=self.config.seed).fit(log_d)
+        self._note_kmeans_result(result)
         centers = result.centroids.ravel()
         short_label = int(centers.argmin())
         short_mask = result.labels == short_label

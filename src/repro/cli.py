@@ -16,6 +16,12 @@ resilience
     Replay a fault-scenario matrix (outage / stragglers / blackout /
     poisson) under a guarded or unguarded policy and print availability,
     MTTR, restart latency and SLO attainment per scenario.
+sanitize
+    Ingest a saved trace directory through the streaming sanitizer
+    (:mod:`repro.trace.sanitize`) and print the JSON sanitization report:
+    clean/repaired/quarantined counts, per-rule breakdowns, the report
+    digest and the quarantine file path.  ``--strict`` exits non-zero if
+    anything was quarantined.
 bench
     Run a scenario suite (scalability / ablation / robustness) through
     the parallel :class:`~repro.runner.ScenarioRunner` and write a
@@ -24,7 +30,9 @@ bench
     crash-safe :class:`~repro.runner.ScenarioSupervisor` instead:
     per-scenario timeouts, deterministic-backoff retries, quarantine,
     and a digest-verified ``JOURNAL_<suite>.jsonl`` that ``--resume``
-    replays so an interrupted suite finishes where it left off.
+    replays so an interrupted suite finishes where it left off.  With
+    ``--corrupt`` the dirty-trace ``trace_corruption`` suite is appended
+    to the run, exercising the data-plane hardening layer.
 """
 
 from __future__ import annotations
@@ -195,6 +203,27 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.trace import sanitize_trace
+
+    trace, report = sanitize_trace(args.directory, quarantine_path=args.quarantine)
+    payload = {
+        "trace": trace_summary(trace),
+        "sanitization": report.to_dict(),
+        "digest": report.digest,
+        "quarantine_path": report.quarantine_path,
+    }
+    print(json.dumps(payload, indent=2))
+    if args.strict and report.records_quarantined:
+        print(
+            f"repro sanitize: --strict and {report.records_quarantined} "
+            "record(s) quarantined",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.runner import (
         SUITES,
@@ -248,6 +277,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         load=args.load if args.load is not None else env.load,
     )
     suites = sorted(SUITES) if args.suite == "all" else [args.suite]
+    if args.corrupt and "trace_corruption" not in suites:
+        suites.append("trace_corruption")
     exit_code = 0
     for suite in suites:
         scenarios = SUITES[suite](defaults)
@@ -387,12 +418,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resilience.set_defaults(fn=cmd_resilience)
 
+    sanitize = subparsers.add_parser(
+        "sanitize", help="ingest a dirty trace through the sanitizer"
+    )
+    sanitize.add_argument(
+        "directory", type=Path, help="saved trace directory to sanitize"
+    )
+    sanitize.add_argument(
+        "--quarantine", type=Path, default=None,
+        help="quarantine JSONL path (default: <dir>/task_events.csv.quarantine.jsonl)",
+    )
+    sanitize.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 if any record was quarantined",
+    )
+    sanitize.set_defaults(fn=cmd_sanitize)
+
     bench = subparsers.add_parser(
         "bench", help="run a scenario suite via the parallel runner"
     )
     bench.add_argument(
-        "suite", choices=("scalability", "ablation", "robustness", "all"),
+        "suite",
+        choices=("scalability", "ablation", "robustness", "trace_corruption", "all"),
         help="which scenario suite to run",
+    )
+    bench.add_argument(
+        "--corrupt", action="store_true",
+        help="also run the dirty-trace trace_corruption suite "
+             "(corrupt -> sanitize -> simulate)",
     )
     bench.add_argument("--workers", type=int, default=4,
                        help="worker processes (1 = in-process serial)")

@@ -7,7 +7,7 @@ repaired by re-seeding them at the points farthest from their centroid.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -28,6 +28,11 @@ class KMeansResult:
         Lloyd iterations performed.
     converged:
         Whether assignments stopped changing before ``max_iter``.
+    reseeds:
+        Empty-cluster repairs performed during the winning restart.
+    collapsed:
+        Whether ``k`` was reduced to the number of distinct points (the
+        zero-variance / duplicate-heavy degenerate case).
     """
 
     centroids: np.ndarray
@@ -35,6 +40,8 @@ class KMeansResult:
     inertia: float
     n_iter: int
     converged: bool
+    reseeds: int = 0
+    collapsed: bool = False
 
     @property
     def k(self) -> int:
@@ -140,6 +147,17 @@ class KMeans:
         if not np.isfinite(data).all():
             raise ValueError("data contains NaN or infinite values")
         k = min(self.k, n)
+        collapsed = False
+        if k > 1:
+            # Degenerate data (zero-variance features, duplicate-heavy dirty
+            # traces) can have fewer distinct points than clusters; every
+            # surplus cluster would then thrash through empty-cluster
+            # reseeds without ever separating.  Collapse k to the distinct
+            # count — deterministic, and exact for such data.
+            distinct = np.unique(data, axis=0).shape[0]
+            if distinct < k:
+                k = distinct
+                collapsed = True
 
         rng = np.random.default_rng(self.seed)
         best: KMeansResult | None = None
@@ -148,6 +166,8 @@ class KMeans:
             if best is None or result.inertia < best.inertia:
                 best = result
         assert best is not None
+        if collapsed:
+            best = replace(best, collapsed=True)
         self.result = best
         return best
 
@@ -158,6 +178,7 @@ class KMeans:
         labels = np.full(data.shape[0], -1, dtype=int)
         converged = False
         n_iter = 0
+        reseeds = 0
         for n_iter in range(1, self.max_iter + 1):
             distances = _squared_distances(data, centroids)
             new_labels = distances.argmin(axis=1)
@@ -170,6 +191,7 @@ class KMeans:
                     farthest = distances[np.arange(len(new_labels)), new_labels].argmax()
                     new_centroids[j] = data[farthest]
                     new_labels[farthest] = j
+                    reseeds += 1
                 else:
                     new_centroids[j] = members.mean(axis=0)
             shift = float(np.linalg.norm(new_centroids - centroids))
@@ -187,6 +209,7 @@ class KMeans:
             inertia=inertia,
             n_iter=n_iter,
             converged=converged,
+            reseeds=reseeds,
         )
 
     def predict(self, data: np.ndarray) -> np.ndarray:

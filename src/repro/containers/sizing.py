@@ -24,6 +24,28 @@ from dataclasses import dataclass
 from scipy import stats
 
 from repro.classification.classifier import TaskClass
+from repro.errors import ContainerSizingError
+
+
+def _check_moments(mean: float, std: float) -> None:
+    """Reject degenerate Gaussian moments before they reach Eq. 3.
+
+    NaN/Inf moments (a poisoned class from a dirty trace) would otherwise
+    propagate silently into container sizes; negative ones are caller bugs.
+    Both raise :class:`repro.errors.ContainerSizingError` (also a
+    ``ValueError``) so the degradation ladder can classify the failure.
+    ``std == 0`` is *valid*: Eq. 3 degenerates to mean-sized containers.
+    """
+    if not (math.isfinite(mean) and math.isfinite(std)):
+        raise ContainerSizingError(
+            f"non-finite moments: mean={mean}, std={std}", mean=mean, std=std
+        )
+    if mean < 0 or std < 0:
+        raise ContainerSizingError(
+            f"mean and std must be >= 0, got mean={mean}, std={std}",
+            mean=mean,
+            std=std,
+        )
 
 
 def z_quantile(epsilon: float) -> float:
@@ -55,8 +77,7 @@ def gaussian_container_size(
     floor: float = 1e-4,
 ) -> float:
     """Eq. 3: ``c = mu + Z_eps * sigma``, clipped to ``[floor, cap]``."""
-    if mean < 0 or std < 0:
-        raise ValueError(f"mean and std must be >= 0, got mean={mean}, std={std}")
+    _check_moments(mean, std)
     size = mean + z_quantile(epsilon) * std
     return float(min(max(size, mean, floor), cap))
 
@@ -80,8 +101,7 @@ def multiplexed_container_size(
     multiplexing group grows, which is what makes dense packing of small
     tasks energy-competitive.
     """
-    if mean < 0 or std < 0:
-        raise ValueError(f"mean and std must be >= 0, got mean={mean}, std={std}")
+    _check_moments(mean, std)
     if group_size < 1:
         raise ValueError(f"group_size must be >= 1, got {group_size}")
     size = mean + z_quantile(epsilon) * std / math.sqrt(group_size)
@@ -103,6 +123,13 @@ def hoeffding_container_size(
     splitting ``t`` evenly across the group yields per-task padding
     ``(upper - lower) * sqrt(ln(1/eps) / (2 G))``.
     """
+    if not all(math.isfinite(v) for v in (mean, lower, upper)):
+        raise ContainerSizingError(
+            f"non-finite bounds: mean={mean}, lower={lower}, upper={upper}",
+            mean=mean,
+            lower=lower,
+            upper=upper,
+        )
     if upper < lower:
         raise ValueError(f"upper must be >= lower, got [{lower}, {upper}]")
     if group_size < 1:

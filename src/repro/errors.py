@@ -18,8 +18,17 @@ three families matching the three places things go wrong:
 ``TraceCorrupt``
     Data that should be trustworthy is not: non-finite floats in a summary
     headed for canonical JSON (:class:`NonFiniteSummary`, also a
-    ``ValueError``) or a journal line whose digest does not match its
-    payload (:class:`JournalCorrupt`).
+    ``ValueError``), a journal line whose digest does not match its
+    payload (:class:`JournalCorrupt`), or a trace CSV cell that does not
+    parse (:class:`TraceFieldCorrupt`, also a ``ValueError``).
+``CapacityModelError``
+    The analytic capacity models produced something unusable: an M/G/N
+    queue that cannot be stabilized at any container count
+    (:class:`CapacityModelUnstable`) or degenerate Gaussian moments fed to
+    Eq. 3 sizing (:class:`ContainerSizingError`).  Both are also
+    ``ValueError`` so pre-taxonomy call sites keep working, and both carry
+    stable codes the control-plane degradation ladder records when it
+    absorbs them mid-tick.
 """
 
 from __future__ import annotations
@@ -124,6 +133,50 @@ class JournalCorrupt(TraceCorrupt):
     code = "journal_corrupt"
 
 
+class TraceFieldCorrupt(TraceCorrupt, ValueError):
+    """A trace CSV cell failed to parse or a required column is missing.
+
+    Carries ``row`` (1-based data row number), ``column`` and ``value``
+    context so a malformed cell is locatable without re-parsing the file.
+    Also a :class:`ValueError` (what the bare ``float()``/``int()`` casts
+    used to raise) so generic CSV error handling still applies.
+    """
+
+    code = "trace_field_corrupt"
+
+
+# ---------------------------------------------------------------- capacity
+
+
+class CapacityModelError(ReproError):
+    """An analytic capacity model (Eqs. 1-3) produced unusable output."""
+
+    code = "capacity_model_error"
+
+
+class CapacityModelUnstable(CapacityModelError, ValueError):
+    """No container count within bounds stabilizes the M/G/N queue.
+
+    Raised by :func:`repro.queueing.mgn.required_containers` when the
+    offered load exceeds ``max_servers`` or no count meets the delay
+    target.  Also a :class:`ValueError` for pre-taxonomy callers; the
+    degradation ladder classifies it by ``code`` and falls back to
+    reactive provisioning instead of crashing the tick.
+    """
+
+    code = "capacity_model_unstable"
+
+
+class ContainerSizingError(CapacityModelError, ValueError):
+    """Eq. 3 sizing was fed degenerate moments (NaN/Inf mean or sigma).
+
+    Also a :class:`ValueError` so existing ``except ValueError`` sizing
+    call sites keep working.
+    """
+
+    code = "container_sizing_error"
+
+
 __all__ = [
     "ReproError",
     "ScenarioError",
@@ -135,4 +188,8 @@ __all__ = [
     "TraceCorrupt",
     "NonFiniteSummary",
     "JournalCorrupt",
+    "TraceFieldCorrupt",
+    "CapacityModelError",
+    "CapacityModelUnstable",
+    "ContainerSizingError",
 ]

@@ -16,6 +16,7 @@ from repro.forecasting.predictors import (
     EwmaPredictor,
     HoltPredictor,
     ArimaPredictor,
+    FallbackChainPredictor,
     make_predictor,
 )
 from repro.forecasting.seasonal import SeasonalNaivePredictor, SeasonalEwmaPredictor
@@ -32,6 +33,7 @@ __all__ = [
     "EwmaPredictor",
     "HoltPredictor",
     "ArimaPredictor",
+    "FallbackChainPredictor",
     "SeasonalNaivePredictor",
     "SeasonalEwmaPredictor",
     "make_predictor",

@@ -181,6 +181,100 @@ class ArimaPredictor:
         return np.clip(prediction, 0.0, ceiling)
 
 
+class FallbackChainPredictor:
+    """Stage-health guard around any primary predictor (rungs like the ladder).
+
+    The control-plane `DegradationLadder` keeps *decisions* coming when the
+    solver dies; this is the analogous ladder for *forecasts*.  Every
+    ``forecast()`` walks three rungs and returns the first usable output:
+
+    | rung | name | source |
+    |---|---|---|
+    | 0 | ``primary`` | the wrapped predictor (ARIMA by default) |
+    | 1 | ``seasonal_naive`` | same interval one period ago |
+    | 2 | ``last_value`` | the last observation, held flat |
+
+    A rung fails when it raises or emits a forecast with the wrong shape,
+    NaN/Inf, or negative entries.  Degraded forecasts are recorded as
+    ``(tick, rung, reason)`` on :attr:`timeline` — the same shape as the
+    simulator's ``degradation_timeline`` — and tallied in
+    :attr:`rung_counts`, which ``summary()["resilience"]["data_plane"]``
+    aggregates per class.
+    """
+
+    RUNGS = ("primary", "seasonal_naive", "last_value")
+
+    def __init__(self, primary: "Predictor | str | None" = None, period: int = 288) -> None:
+        from repro.forecasting.seasonal import SeasonalNaivePredictor
+
+        if primary is None:
+            primary = ArimaPredictor()
+        elif isinstance(primary, str):
+            primary = make_predictor(primary)
+        self.primary = primary
+        self._seasonal = SeasonalNaivePredictor(period=period)
+        self._last = 0.0
+        self._tick = 0
+        self._pending_reason: str | None = None
+        self.timeline: list[tuple[int, int, str]] = []
+        self.rung_counts: dict[str, int] = {name: 0 for name in self.RUNGS}
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        if not np.isfinite(value) or value < 0:
+            # A poisoned observation must not corrupt every rung; feed the
+            # last sane level instead and let the forecast path log it.
+            self._pending_reason = "nonfinite_observation"
+            value = self._last
+        try:
+            self.primary.update(value)
+        except Exception as exc:  # a broken primary must not kill the stream
+            self._pending_reason = _failure_reason(exc)
+        self._seasonal.update(value)
+        self._last = max(value, 0.0)
+        self._tick += 1
+
+    def forecast(self, steps: int) -> np.ndarray:
+        _check_steps(steps)
+        reason = self._pending_reason
+        self._pending_reason = None
+        if reason is None:
+            try:
+                prediction = np.asarray(self.primary.forecast(steps), dtype=float)
+                if _usable(prediction, steps):
+                    self._record(0, "ok")
+                    return prediction
+                reason = "nonfinite_forecast"
+            except Exception as exc:
+                reason = _failure_reason(exc)
+        try:
+            prediction = np.asarray(self._seasonal.forecast(steps), dtype=float)
+            if _usable(prediction, steps):
+                self._record(1, reason)
+                return prediction
+        except Exception as exc:
+            reason = _failure_reason(exc)
+        self._record(2, reason)
+        return np.full(steps, self._last)
+
+    def _record(self, rung: int, reason: str) -> None:
+        self.rung_counts[self.RUNGS[rung]] += 1
+        if rung > 0:
+            self.timeline.append((self._tick, rung, reason))
+
+
+def _usable(prediction: np.ndarray, steps: int) -> bool:
+    return (
+        prediction.shape == (steps,)
+        and bool(np.isfinite(prediction).all())
+        and bool((prediction >= 0).all())
+    )
+
+
+def _failure_reason(exc: Exception) -> str:
+    return getattr(exc, "code", None) or type(exc).__name__
+
+
 def _predictor_registry() -> dict:
     # Imported lazily to avoid a circular import (seasonal uses _check_steps).
     from repro.forecasting.seasonal import (
@@ -196,6 +290,7 @@ def _predictor_registry() -> dict:
         "arima": ArimaPredictor,
         "seasonal_naive": SeasonalNaivePredictor,
         "seasonal_ewma": SeasonalEwmaPredictor,
+        "fallback": FallbackChainPredictor,
     }
 
 

@@ -25,6 +25,8 @@ import math
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro.errors import CapacityModelUnstable
+
 #: The MPC loop re-evaluates Eqs. 1-3 with the *same* (load, N) pairs at
 #: every tick (the container manager's classes change slowly); memoizing the
 #: O(N) Erlang recurrence and the O(log N)-probe inversion turns the
@@ -152,6 +154,11 @@ def required_containers(
     Results are memoized per exact argument tuple (the inverse-lookup
     cache): the container manager re-inverts the same (lambda, mu, SLO,
     CV^2) classes every control tick.
+
+    Raises :class:`repro.errors.CapacityModelUnstable` (also a
+    ``ValueError``) when no count within ``max_servers`` stabilizes the
+    queue at the target delay — the degradation ladder classifies it by
+    code and drops the tick to reactive provisioning.
     """
     if target_delay <= 0:
         raise ValueError(f"target_delay must be positive, got {target_delay}")
@@ -177,8 +184,12 @@ def _required_containers_cached(
     offered = arrival_rate / service_rate
     low = int(math.floor(offered)) + 1  # smallest N with rho < 1
     if low > max_servers:
-        raise ValueError(
-            f"offered load {offered:.0f} exceeds max_servers {max_servers}"
+        raise CapacityModelUnstable(
+            f"offered load {offered:.0f} exceeds max_servers {max_servers}",
+            arrival_rate=arrival_rate,
+            service_rate=service_rate,
+            target_delay=target_delay,
+            max_servers=max_servers,
         )
     if mgn_mean_wait(arrival_rate, service_rate, low, scv) <= target_delay:
         return low
@@ -201,9 +212,13 @@ def _required_containers_cached(
                 candidate = max(n, low)
                 break
         if candidate is None or candidate > max_servers:
-            raise ValueError(
+            raise CapacityModelUnstable(
                 f"no container count up to {max_servers} meets delay "
-                f"{target_delay} (lambda={arrival_rate}, mu={service_rate})"
+                f"{target_delay} (lambda={arrival_rate}, mu={service_rate})",
+                arrival_rate=arrival_rate,
+                service_rate=service_rate,
+                target_delay=target_delay,
+                max_servers=max_servers,
             )
         # Walk down while the exact wait still meets the target, then up if
         # the approximation undershot.  Steps of ~0.5% of sqrt(a) keep the
@@ -218,9 +233,13 @@ def _required_containers_cached(
         while mgn_mean_wait(arrival_rate, service_rate, candidate, scv) > target_delay:
             candidate += 1
             if candidate > max_servers:
-                raise ValueError(
+                raise CapacityModelUnstable(
                     f"no container count up to {max_servers} meets delay "
-                    f"{target_delay} (lambda={arrival_rate}, mu={service_rate})"
+                    f"{target_delay} (lambda={arrival_rate}, mu={service_rate})",
+                    arrival_rate=arrival_rate,
+                    service_rate=service_rate,
+                    target_delay=target_delay,
+                    max_servers=max_servers,
                 )
         # Refine to the exact minimum within the last step.
         while (
@@ -236,9 +255,13 @@ def _required_containers_cached(
     while mgn_mean_wait(arrival_rate, service_rate, high, scv) > target_delay:
         high *= 2
         if high > max_servers:
-            raise ValueError(
+            raise CapacityModelUnstable(
                 f"no container count up to {max_servers} meets delay "
-                f"{target_delay} (lambda={arrival_rate}, mu={service_rate})"
+                f"{target_delay} (lambda={arrival_rate}, mu={service_rate})",
+                arrival_rate=arrival_rate,
+                service_rate=service_rate,
+                target_delay=target_delay,
+                max_servers=max_servers,
             )
     while low + 1 < high:
         mid = (low + high) // 2

@@ -11,7 +11,11 @@ package supplies both sides of that claim for the reproduction:
 - :mod:`repro.resilience.guard` -- :class:`GuardedController`, a policy
   wrapper that validates and clamps every decision, falls back to the
   last-known-good plan on solver failure, and trips a forecast-residual
-  circuit breaker into reactive threshold provisioning.
+  circuit breaker into reactive threshold provisioning;
+- :mod:`repro.resilience.scenarios` -- the named fault matrix, plus
+  data-plane faults: deterministic field-level trace corruption
+  (:func:`corrupt_tasks_csv`) replayed through the sanitizer
+  (:mod:`repro.trace.sanitize`) by the ``sanitized_simulate`` task.
 
 See ``docs/resilience.md`` for the fault model and guardrail thresholds.
 """
@@ -27,16 +31,20 @@ from repro.resilience.faults import (
 )
 from repro.resilience.guard import GuardConfig, GuardedController, GuardStats
 from repro.resilience.scenarios import (
+    CORRUPTION_KINDS,
     SCENARIOS,
     WORKER_FAULT_MODES,
     build_scenario_plan,
+    corrupt_tasks_csv,
     transient_fault_scenario,
 )
 
 __all__ = [
+    "CORRUPTION_KINDS",
     "SCENARIOS",
     "WORKER_FAULT_MODES",
     "build_scenario_plan",
+    "corrupt_tasks_csv",
     "transient_fault_scenario",
     "CorrelatedOutage",
     "FaultInjector",

@@ -8,10 +8,13 @@ matrix and their numbers stay comparable.
 
 from __future__ import annotations
 
+import csv
 import os
 import signal
 import time
 from pathlib import Path
+
+import numpy as np
 
 from repro.errors import ScenarioFailed
 from repro.resilience.faults import (
@@ -109,6 +112,146 @@ def transient_fault_task(params: dict) -> dict:
         )
     inner = get_task(str(params["inner_task"]))
     return inner(dict(params.get("inner_params", {})))
+
+
+# ------------------------------------------------------- data-plane faults
+#
+# The worker faults above attack the bench harness; the pieces below attack
+# the *input data* — field-level corruption of a saved task CSV, replayed
+# through the sanitizer (repro.trace.sanitize) and the analytics fallback
+# chain.  Same vocabulary rule as the rest of the catalog: one definition
+# of "10% dirty" shared by the CLI, CI smoke and the trace_corruption
+# bench suite.
+
+#: Field-level corruption kinds, cycled deterministically over the sampled
+#: rows.  Together they hit both sanitizer paths: repairs (negative
+#: duration, duplicate id) and quarantines (unparseable cell, NaN
+#: resource, out-of-range priority, negative timestamp, truncated row).
+CORRUPTION_KINDS = (
+    "unparseable_cell",
+    "nan_resource",
+    "negative_duration",
+    "priority_out_of_range",
+    "negative_timestamp",
+    "duplicate_id",
+    "truncated_row",
+)
+
+
+def corrupt_tasks_csv(
+    path: str | Path, fraction: float = 0.1, seed: int = 0
+) -> int:
+    """Corrupt a saved task CSV in place, deterministically.
+
+    Samples ``max(1, round(fraction * rows))`` distinct rows with a
+    generator seeded by ``seed`` and cycles :data:`CORRUPTION_KINDS` over
+    them in file order, so the same ``(file, fraction, seed)`` triple
+    always produces the same dirty bytes — a corruption run is as
+    replayable as any other fault scenario.  Returns the number of rows
+    corrupted.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        rows = [list(row) for row in reader]
+    if not rows:
+        return 0
+
+    column = {name: i for i, name in enumerate(header)}
+    count = min(max(1, round(fraction * len(rows))), len(rows))
+    rng = np.random.default_rng(seed)
+    victims = sorted(int(i) for i in rng.choice(len(rows), size=count, replace=False))
+    for n, index in enumerate(victims):
+        kind = CORRUPTION_KINDS[n % len(CORRUPTION_KINDS)]
+        row = rows[index]
+        if kind == "unparseable_cell":
+            row[column["cpu_request"]] = "not-a-number"
+        elif kind == "nan_resource":
+            row[column["memory_request"]] = "nan"
+        elif kind == "negative_duration":
+            row[column["duration"]] = "-42.0"
+        elif kind == "priority_out_of_range":
+            row[column["priority"]] = "99"
+        elif kind == "negative_timestamp":
+            row[column["timestamp"]] = "-1.0"
+        elif kind == "duplicate_id":
+            donor = rows[index - 1] if index else rows[-1]
+            if len(donor) > column["task_index"]:
+                row[column["job_id"]] = donor[column["job_id"]]
+                row[column["task_index"]] = donor[column["task_index"]]
+        elif kind == "truncated_row":
+            del row[3:]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return len(victims)
+
+
+@register_task("sanitized_simulate")
+def sanitized_simulate_task(params: dict) -> dict:
+    """Dirty-trace end to end: generate, corrupt, sanitize, simulate.
+
+    Saves the synthetic trace to a temp directory, corrupts its task CSV
+    in place with :func:`corrupt_tasks_csv`, ingests it back through
+    :func:`repro.trace.sanitize.sanitize_trace`, refits the classifier on
+    the surviving tasks and runs :class:`HarmonySimulation` with the
+    sanitization report attached — so ``summary()["resilience"]
+    ["data_plane"]`` carries the repair/quarantine counts.  Params:
+
+    - ``trace`` — dict for :func:`trace_config_from_params`;
+    - ``corrupt_fraction`` / ``corrupt_seed`` — corruption knobs;
+    - ``policy`` / ``predictor`` / ``guard`` — simulation knobs
+      (defaults ``cbs`` / ``fallback`` / ``True``);
+    - ``window_hours`` — clip the trace before saving.
+
+    The temp directory never leaks into the summary (the report's
+    ``quarantine_path`` is excluded from its digest payload), so two runs
+    of the same params digest identically.
+    """
+    import tempfile
+
+    from repro.classification import ClassifierConfig, TaskClassifier
+    from repro.runner.defaults import trace_config_from_params
+    from repro.simulation import HarmonyConfig, HarmonySimulation
+    from repro.trace import generate_trace, sanitize_trace, save_trace
+
+    config = trace_config_from_params(dict(params.get("trace", {})))
+    trace = generate_trace(config)
+    window_hours = params.get("window_hours")
+    if window_hours is not None:
+        trace = trace.window(0.0, min(float(window_hours) * 3600.0, trace.horizon))
+
+    start = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-dirty-") as tmp:
+        save_trace(trace, tmp)
+        corrupted = corrupt_tasks_csv(
+            Path(tmp) / "task_events.csv",
+            fraction=float(params.get("corrupt_fraction", 0.1)),
+            seed=int(params.get("corrupt_seed", 0)),
+        )
+        sanitized, report = sanitize_trace(tmp)
+    sanitize_seconds = time.perf_counter() - start
+
+    classifier = TaskClassifier(ClassifierConfig(seed=config.seed)).fit(
+        list(sanitized.tasks)
+    )
+    sim_config = HarmonyConfig(
+        policy=str(params.get("policy", "cbs")),
+        predictor=str(params.get("predictor", "fallback")),
+        guard=bool(params.get("guard", True)),
+    )
+    result = HarmonySimulation(
+        sim_config, sanitized, classifier=classifier, sanitization=report
+    ).run()
+    summary = result.summary()
+    summary["corrupted_rows"] = corrupted
+    phases = dict(result.phase_timings)
+    phases["sanitize"] = sanitize_seconds
+    return {"summary": summary, "phases": phases}
 
 
 def transient_fault_scenario(

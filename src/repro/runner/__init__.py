@@ -52,6 +52,7 @@ from repro.runner.suites import (
     robustness_scenarios,
     scalability_scenarios,
     slo_scenarios,
+    trace_corruption_scenarios,
 )
 
 __all__ = [
@@ -92,4 +93,5 @@ __all__ = [
     "robustness_scenarios",
     "scalability_scenarios",
     "slo_scenarios",
+    "trace_corruption_scenarios",
 ]

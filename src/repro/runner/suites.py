@@ -202,9 +202,46 @@ def robustness_scenarios(
     ]
 
 
+#: Corruption fractions the dirty-trace suite replays; the first satisfies
+#: the ">= 10% corrupted records" acceptance bar, the second stresses it.
+TRACE_CORRUPTION_FRACTIONS = (0.1, 0.25)
+
+
+def trace_corruption_scenarios(
+    defaults: BenchDefaults | None = None,
+    fractions: tuple[float, ...] = TRACE_CORRUPTION_FRACTIONS,
+) -> list[Scenario]:
+    """Dirty-trace ingestion: corrupt, sanitize, simulate with fallbacks.
+
+    Each scenario saves the shared bench trace, corrupts a fraction of its
+    task rows in place (``repro.resilience.scenarios.corrupt_tasks_csv``),
+    re-ingests it through the sanitizer and runs guarded CBS with the
+    forecast fallback chain — the data-plane counterpart of the
+    machine-fault robustness matrix.
+    """
+    trace = _bench_trace_params(defaults)
+    return [
+        Scenario(
+            name=f"dirty_{round(fraction * 100):d}pct",
+            task="sanitized_simulate",
+            params={
+                "trace": trace,
+                "corrupt_fraction": fraction,
+                "corrupt_seed": 7,
+                "policy": "cbs",
+                "predictor": "fallback",
+                "guard": True,
+                "window_hours": 2.0,
+            },
+        )
+        for fraction in fractions
+    ]
+
+
 #: Suite name -> builder, for the ``repro bench`` CLI.
 SUITES = {
     "scalability": lambda defaults: scalability_scenarios(),
     "ablation": ablation_scenarios,
     "robustness": robustness_scenarios,
+    "trace_corruption": trace_corruption_scenarios,
 }

@@ -33,6 +33,7 @@ from repro.simulation.cluster import ClusterConfig, ClusterSimulator, ClusterVie
 from repro.simulation.degradation import DegradationLadder
 from repro.simulation.metrics import SimulationMetrics
 from repro.simulation.timing import PhaseTimer
+from repro.trace.sanitize import SanitizationReport
 from repro.trace.schema import PriorityGroup, Task, Trace
 
 POLICIES = ("cbs", "cbp", "baseline", "threshold", "static")
@@ -217,6 +218,12 @@ class SimulationResult:
     #: ``BENCH_<name>.json`` perf baselines.  Not part of :meth:`summary`,
     #: which must stay deterministic for a given scenario.
     phase_timings: dict[str, float] = field(default_factory=dict)
+    #: What the trace sanitizer did, when the run ingested a dirty trace.
+    sanitization: SanitizationReport | None = None
+    #: Aggregated forecast fallback-chain activity (rung counts + per-class
+    #: degraded forecast counts), when the predictor is a
+    #: :class:`~repro.forecasting.predictors.FallbackChainPredictor`.
+    forecast_fallback: dict = field(default_factory=dict)
 
     @property
     def total_cost(self) -> float:
@@ -269,7 +276,51 @@ class SimulationResult:
                     "degraded_ticks": self.metrics.degraded_ticks(),
                     "levels": self.metrics.degradation_level_counts(),
                 },
+                "data_plane": self._data_plane_summary(),
             },
+        }
+
+    def _data_plane_summary(self) -> dict:
+        """What the input-hardening layer absorbed during this run.
+
+        Deterministic by construction: sanitizer counts and digest (no
+        filesystem paths), forecast fallback rung counts, classifier
+        degenerate-input events, and capacity-model errors the degradation
+        ladder classified by code.
+        """
+        sanitizer = None
+        if self.sanitization is not None:
+            sanitizer = {
+                "records_total": self.sanitization.records_total,
+                "records_clean": self.sanitization.records_clean,
+                "records_repaired": self.sanitization.records_repaired,
+                "records_quarantined": self.sanitization.records_quarantined,
+                "repairs_by_rule": dict(
+                    sorted(self.sanitization.repairs_by_rule.items())
+                ),
+                "quarantine_by_rule": dict(
+                    sorted(self.sanitization.quarantine_by_rule.items())
+                ),
+                "digest": self.sanitization.digest,
+            }
+        capacity_guard = {"capacity_model_unstable": 0, "container_sizing_error": 0}
+        for _, _, reason in self.metrics.degradation_timeline:
+            for code in capacity_guard:
+                if code in str(reason):
+                    capacity_guard[code] += 1
+        fallback = self.forecast_fallback or {
+            "rungs": {"primary": 0, "seasonal_naive": 0, "last_value": 0},
+            "degraded_forecasts": 0,
+            "per_class": {},
+        }
+        classifier_events = dict(
+            sorted(getattr(self.classifier, "degenerate_events", {}).items())
+        )
+        return {
+            "sanitizer": sanitizer,
+            "forecast_fallback": fallback,
+            "classifier": classifier_events,
+            "capacity_guard": capacity_guard,
         }
 
 
@@ -281,9 +332,14 @@ class HarmonySimulation:
         config: HarmonyConfig,
         trace: Trace,
         classifier: TaskClassifier | None = None,
+        sanitization: SanitizationReport | None = None,
     ) -> None:
         self.config = config
         self.trace = trace
+        #: Report from :func:`repro.trace.sanitize.sanitize_trace` when the
+        #: trace went through the sanitizer; surfaced in
+        #: ``summary()["resilience"]["data_plane"]``.
+        self.sanitization = sanitization
         self.timer = PhaseTimer()
         if classifier is not None:
             self.classifier = classifier
@@ -473,12 +529,14 @@ class HarmonySimulation:
             # The sanitized decisions are what the cluster actually applied.
             decisions = policy.decisions
             inner = policy.policy
+        forecast_fallback: dict = {}
         if isinstance(inner, _ThresholdPolicy):
             decisions = decisions or inner.autoscaler.decisions
         elif isinstance(inner, _ControllerPolicy):
             decisions = decisions or inner.controller.decisions
             if inner.ladder is not None:
                 metrics.degradation_timeline.extend(inner.ladder.timeline)
+            forecast_fallback = _collect_forecast_fallback(inner.controller)
             for decision in decisions:
                 by_group: dict[PriorityGroup, int] = {g: 0 for g in PriorityGroup}
                 for class_id, demand in decision.demand.items():
@@ -510,7 +568,37 @@ class HarmonySimulation:
                 else None
             ),
             phase_timings=self.timer.snapshot(),
+            sanitization=self.sanitization,
+            forecast_fallback=forecast_fallback,
         )
+
+
+def _collect_forecast_fallback(controller: HarmonyController) -> dict:
+    """Aggregate fallback-chain rung activity across the per-class predictors.
+
+    Empty dict when the configured predictor is not a fallback chain — the
+    summary then reports all-zero rungs, keeping the block shape stable.
+    """
+    rungs = {"primary": 0, "seasonal_naive": 0, "last_value": 0}
+    per_class: dict[str, int] = {}
+    chained = False
+    for class_id, predictor in sorted(getattr(controller, "_predictors", {}).items()):
+        counts = getattr(predictor, "rung_counts", None)
+        timeline = getattr(predictor, "timeline", None)
+        if counts is None or timeline is None:
+            continue
+        chained = True
+        for rung, count in counts.items():
+            rungs[rung] = rungs.get(rung, 0) + count
+        if timeline:
+            per_class[str(class_id)] = len(timeline)
+    if not chained:
+        return {}
+    return {
+        "rungs": rungs,
+        "degraded_forecasts": sum(per_class.values()),
+        "per_class": per_class,
+    }
 
 
 def replace_constraint(task: Task) -> Task:

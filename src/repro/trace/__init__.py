@@ -23,6 +23,11 @@ from repro.trace.generator import (
     google_like_machine_census,
 )
 from repro.trace.reader import save_trace, load_trace, save_tasks_csv, load_tasks_csv
+from repro.trace.sanitize import (
+    SanitizationReport,
+    sanitize_tasks_csv,
+    sanitize_trace,
+)
 from repro.trace.workload import (
     ArrivalSeries,
     bin_arrivals,
@@ -60,6 +65,9 @@ __all__ = [
     "load_trace",
     "save_tasks_csv",
     "load_tasks_csv",
+    "SanitizationReport",
+    "sanitize_tasks_csv",
+    "sanitize_trace",
     "ArrivalSeries",
     "bin_arrivals",
     "arrival_rate_series",

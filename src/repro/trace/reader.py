@@ -19,6 +19,7 @@ import json
 from pathlib import Path
 from typing import Iterable
 
+from repro.errors import TraceFieldCorrupt
 from repro.trace.schema import MachineType, Task, Trace
 
 _MACHINE_FIELDS = ("platform_id", "cpu_capacity", "memory_capacity", "count", "name")
@@ -67,33 +68,78 @@ def save_tasks_csv(tasks: Iterable[Task], path: str | Path) -> int:
     return count
 
 
+def _parse_field(row: dict, column: str, cast, row_number: int):
+    """Cast one CSV cell, raising a locatable error instead of a bare one."""
+    value = row.get(column)
+    if value is None:
+        raise TraceFieldCorrupt(
+            f"row {row_number}: missing cell for column {column!r}",
+            row=row_number,
+            column=column,
+            value=None,
+        )
+    try:
+        return cast(value)
+    except (TypeError, ValueError) as exc:
+        raise TraceFieldCorrupt(
+            f"row {row_number}: column {column!r} has unparseable value {value!r}",
+            row=row_number,
+            column=column,
+            value=value,
+        ) from exc
+
+
+def _parse_allowed_platforms(raw: str) -> frozenset[int] | None:
+    raw = raw.strip()
+    if not raw:
+        return None
+    return frozenset(int(p) for p in raw.split("|"))
+
+
+def parse_task_row(row: dict, row_number: int) -> Task:
+    """Build a :class:`Task` from one CSV row.
+
+    Any malformed cell raises :class:`repro.errors.TraceFieldCorrupt`
+    carrying the 1-based data ``row`` number, ``column`` name and the
+    offending ``value``.
+    """
+    return Task(
+        job_id=_parse_field(row, "job_id", int, row_number),
+        index=_parse_field(row, "task_index", int, row_number),
+        submit_time=_parse_field(row, "timestamp", float, row_number),
+        duration=_parse_field(row, "duration", float, row_number),
+        priority=_parse_field(row, "priority", int, row_number),
+        scheduling_class=_parse_field(row, "scheduling_class", int, row_number),
+        cpu=_parse_field(row, "cpu_request", float, row_number),
+        memory=_parse_field(row, "memory_request", float, row_number),
+        allowed_platforms=_parse_field(
+            row, "allowed_platforms", _parse_allowed_platforms, row_number
+        ),
+    )
+
+
 def load_tasks_csv(path: str | Path) -> list[Task]:
-    """Read tasks written by :func:`save_tasks_csv`."""
+    """Read tasks written by :func:`save_tasks_csv`.
+
+    A malformed cell raises :class:`repro.errors.TraceFieldCorrupt` (also a
+    ``ValueError``) locating the row, column and offending value.  To load a
+    dirty file without raising, sanitize it first with
+    :func:`repro.trace.sanitize.sanitize_tasks_csv`.
+    """
     path = Path(path)
     tasks: list[Task] = []
     with path.open(newline="") as handle:
         reader = csv.DictReader(handle)
         missing = set(_TASK_FIELDS) - set(reader.fieldnames or ())
         if missing:
-            raise ValueError(f"task csv {path} missing columns: {sorted(missing)}")
-        for row in reader:
-            allowed_raw = row["allowed_platforms"].strip()
-            allowed = (
-                frozenset(int(p) for p in allowed_raw.split("|")) if allowed_raw else None
+            raise TraceFieldCorrupt(
+                f"task csv {path} missing columns: {sorted(missing)}",
+                row=0,
+                column=",".join(sorted(missing)),
+                value=None,
             )
-            tasks.append(
-                Task(
-                    job_id=int(row["job_id"]),
-                    index=int(row["task_index"]),
-                    submit_time=float(row["timestamp"]),
-                    duration=float(row["duration"]),
-                    priority=int(row["priority"]),
-                    scheduling_class=int(row["scheduling_class"]),
-                    cpu=float(row["cpu_request"]),
-                    memory=float(row["memory_request"]),
-                    allowed_platforms=allowed,
-                )
-            )
+        for row_number, row in enumerate(reader, start=1):
+            tasks.append(parse_task_row(row, row_number))
     return tasks
 
 
@@ -126,12 +172,10 @@ def save_trace(trace: Trace, directory: str | Path) -> Path:
     return directory
 
 
-def load_trace(directory: str | Path) -> Trace:
-    """Load a trace saved with :func:`save_trace`."""
-    directory = Path(directory)
-
+def load_machine_types_csv(path: str | Path) -> list[MachineType]:
+    """Read the machine census written by :func:`save_trace`."""
     machine_types: list[MachineType] = []
-    with (directory / "machine_types.csv").open(newline="") as handle:
+    with Path(path).open(newline="") as handle:
         reader = csv.DictReader(handle)
         for row in reader:
             machine_types.append(
@@ -143,13 +187,21 @@ def load_trace(directory: str | Path) -> Trace:
                     name=row["name"],
                 )
             )
+    return machine_types
 
-    tasks = load_tasks_csv(directory / "task_events.csv")
 
-    with (directory / "meta.csv").open(newline="") as handle:
+def load_meta_csv(path: str | Path) -> tuple[float, dict]:
+    """Read the ``(horizon, metadata)`` pair written by :func:`save_trace`."""
+    with Path(path).open(newline="") as handle:
         reader = csv.DictReader(handle)
         meta_row = next(reader)
-    horizon = float(meta_row["horizon"])
-    metadata = json.loads(meta_row["metadata_json"])
+    return float(meta_row["horizon"]), json.loads(meta_row["metadata_json"])
 
+
+def load_trace(directory: str | Path) -> Trace:
+    """Load a trace saved with :func:`save_trace`."""
+    directory = Path(directory)
+    machine_types = load_machine_types_csv(directory / "machine_types.csv")
+    tasks = load_tasks_csv(directory / "task_events.csv")
+    horizon, metadata = load_meta_csv(directory / "meta.csv")
     return Trace.from_tasks(machine_types, tasks, horizon=horizon, metadata=metadata)

@@ -65,10 +65,20 @@ class SizeScatter:
 
     @property
     def cpu_memory_correlation(self) -> float:
-        """Pearson correlation between CPU and memory requests."""
+        """Pearson correlation between CPU and memory requests.
+
+        Degenerate samples — fewer than two tasks, or zero variance in
+        either resource (every task the same size) — have no defined
+        correlation; return 0.0 instead of letting ``np.corrcoef`` emit
+        NaN (and a divide warning) into calibration reports.
+        """
         if self.cpu.size < 2:
-            return float("nan")
-        return float(np.corrcoef(self.cpu, self.memory)[0, 1])
+            return 0.0
+        if float(np.ptp(self.cpu)) == 0.0 or float(np.ptp(self.memory)) == 0.0:
+            return 0.0
+        with np.errstate(invalid="ignore", divide="ignore"):
+            correlation = float(np.corrcoef(self.cpu, self.memory)[0, 1])
+        return correlation if np.isfinite(correlation) else 0.0
 
     def modal_fraction(self, cpu: float, memory: float, tol: float = 1e-9) -> float:
         """Fraction of tasks sitting exactly at a modal (cpu, memory) point."""

@@ -44,7 +44,24 @@ class CalibrationReport:
 
 
 def validate_trace(trace: Trace) -> CalibrationReport:
-    """Validate a trace against the paper's Section III marginals."""
+    """Validate a trace against the paper's Section III marginals.
+
+    Always returns a report: a trace too small to measure anything (empty
+    or single-task — e.g. everything else was quarantined by the
+    sanitizer) yields a single failing minimum-sample check rather than a
+    crash or a vacuously passing report.
+    """
+    if trace.num_tasks < 2:
+        return CalibrationReport(
+            checks=(
+                CalibrationCheck(
+                    name="minimum sample size",
+                    target=">= 2 tasks",
+                    measured=float(trace.num_tasks),
+                    passed=False,
+                ),
+            )
+        )
     checks: list[CalibrationCheck] = []
     durations = np.array([t.duration for t in trace.tasks])
     scatters = size_scatter_by_group(trace)

@@ -85,6 +85,29 @@ class TestKMeans:
         result = KMeans(k=3, seed=0).fit(data)
         assert result.inertia == pytest.approx(0.0)
 
+    def test_collapses_k_to_distinct_point_count(self):
+        # 40 samples but only 2 distinct points: k=5 must collapse to 2
+        # instead of thrashing empty-cluster reseeds / NaN centroids.
+        data = np.array([[0.0, 0.0], [1.0, 1.0]] * 20)
+        result = KMeans(k=5, seed=0).fit(data)
+        assert result.collapsed
+        assert result.k == 2
+        assert np.isfinite(result.centroids).all()
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_zero_variance_data_yields_single_cluster(self):
+        data = np.full((30, 2), 0.25)
+        result = KMeans(k=4, seed=1).fit(data)
+        assert result.collapsed
+        assert result.k == 1
+        assert result.centroids[0] == pytest.approx([0.25, 0.25])
+
+    def test_reseed_counter_surfaces(self):
+        rng = np.random.default_rng(0)
+        result = KMeans(k=3, seed=0).fit(rng.normal(size=(50, 2)))
+        assert result.reseeds >= 0  # field exists and is an int
+        assert not result.collapsed
+
     def test_rejects_empty_and_nan(self):
         with pytest.raises(ValueError):
             KMeans(k=2).fit(np.empty((0, 2)))

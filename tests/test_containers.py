@@ -62,6 +62,19 @@ class TestGaussianSizing:
         with pytest.raises(ValueError):
             gaussian_container_size(-0.1, 0.1, 0.05)
 
+    def test_degenerate_moments_raise_structured_code(self):
+        from repro.errors import ContainerSizingError
+
+        for mean, std in ((float("nan"), 0.1), (0.1, float("inf")), (0.1, -0.5)):
+            with pytest.raises(ContainerSizingError) as excinfo:
+                gaussian_container_size(mean, std, 0.05)
+            assert excinfo.value.code == "container_sizing_error"
+            assert isinstance(excinfo.value, ValueError)
+
+    def test_zero_std_is_valid_not_degenerate(self):
+        # sigma=0 (constant demand) sizes to the mean, no error.
+        assert gaussian_container_size(0.2, 0.0, 0.05) == pytest.approx(0.2)
+
     def test_multiplexing_guarantee_empirically(self):
         """Packing by Eq. 3 sizes keeps violation probability near epsilon."""
         rng = np.random.default_rng(0)

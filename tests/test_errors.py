@@ -8,6 +8,9 @@ the compatibility MRO that keeps pre-taxonomy ``except RuntimeError`` /
 import pytest
 
 from repro.errors import (
+    CapacityModelError,
+    CapacityModelUnstable,
+    ContainerSizingError,
     JournalCorrupt,
     NonFiniteSummary,
     ReproError,
@@ -18,6 +21,7 @@ from repro.errors import (
     SolverError,
     SolverInfeasible,
     TraceCorrupt,
+    TraceFieldCorrupt,
 )
 
 
@@ -44,6 +48,20 @@ class TestHierarchy:
     def test_journal_corrupt_is_trace_corrupt(self):
         assert issubclass(JournalCorrupt, TraceCorrupt)
 
+    def test_trace_field_corrupt_is_value_error(self):
+        assert issubclass(TraceFieldCorrupt, TraceCorrupt)
+        # load_tasks_csv used to raise bare ValueError from float().
+        with pytest.raises(ValueError):
+            raise TraceFieldCorrupt("bad cell", row=3, column="duration", value="x")
+
+    def test_capacity_model_family_is_value_error(self):
+        for cls in (CapacityModelUnstable, ContainerSizingError):
+            assert issubclass(cls, CapacityModelError)
+            assert issubclass(cls, ReproError)
+            # Legacy call sites caught ValueError from the queueing/sizing math.
+            with pytest.raises(ValueError):
+                raise cls("degenerate capacity model")
+
 
 class TestCodes:
     @pytest.mark.parametrize(
@@ -59,6 +77,10 @@ class TestCodes:
             (TraceCorrupt, "trace_corrupt"),
             (NonFiniteSummary, "non_finite_summary"),
             (JournalCorrupt, "journal_corrupt"),
+            (TraceFieldCorrupt, "trace_field_corrupt"),
+            (CapacityModelError, "capacity_model_error"),
+            (CapacityModelUnstable, "capacity_model_unstable"),
+            (ContainerSizingError, "container_sizing_error"),
         ],
     )
     def test_stable_code(self, cls, code):

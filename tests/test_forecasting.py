@@ -153,6 +153,70 @@ class TestPredictors:
             p.update(10.0 + rng.normal(0, 0.5))
         assert p.forecast(1)[0] == pytest.approx(10.0, abs=1.5)
 
+    def test_fallback_chain_uses_primary_when_healthy(self):
+        from repro.forecasting import FallbackChainPredictor
+
+        p = FallbackChainPredictor(primary="ewma")
+        for v in (4.0, 5.0, 6.0):
+            p.update(v)
+        forecast = p.forecast(3)
+        assert forecast.shape == (3,)
+        assert p.rung_counts == {"primary": 1, "seasonal_naive": 0, "last_value": 0}
+        assert p.timeline == []
+
+    def test_fallback_chain_degrades_on_broken_primary(self):
+        from repro.forecasting import FallbackChainPredictor
+
+        class Broken:
+            def update(self, value):
+                pass
+
+            def forecast(self, steps):
+                raise RuntimeError("solver exploded")
+
+        p = FallbackChainPredictor(primary=Broken(), period=2)
+        for v in (3.0, 7.0, 3.0, 7.0):
+            p.update(v)
+        forecast = p.forecast(2)
+        # Seasonal-naive rung: same slot one period ago.
+        assert forecast == pytest.approx([3.0, 7.0])
+        assert p.rung_counts["seasonal_naive"] == 1
+        tick, rung, reason = p.timeline[0]
+        assert (rung, reason) == (1, "RuntimeError")
+
+    def test_fallback_chain_bottoms_out_at_last_value(self):
+        from repro.forecasting import FallbackChainPredictor
+
+        class NaNPredictor:
+            def update(self, value):
+                pass
+
+            def forecast(self, steps):
+                return np.full(steps, np.nan)
+
+        p = FallbackChainPredictor(primary=NaNPredictor(), period=4)
+        p._seasonal = NaNPredictor()  # both upper rungs emit garbage
+        p.update(5.0)
+        forecast = p.forecast(3)
+        assert forecast == pytest.approx([5.0, 5.0, 5.0])
+        assert p.rung_counts["last_value"] == 1
+        assert p.timeline[-1][1] == 2
+
+    def test_fallback_chain_survives_poisoned_observation(self):
+        from repro.forecasting import FallbackChainPredictor
+
+        p = FallbackChainPredictor(primary="naive")
+        p.update(4.0)
+        p.update(float("nan"))
+        forecast = p.forecast(2)
+        assert np.isfinite(forecast).all()
+        assert any(reason == "nonfinite_observation" for _, _, reason in p.timeline)
+
+    def test_fallback_registered_in_factory(self):
+        from repro.forecasting import FallbackChainPredictor
+
+        assert isinstance(make_predictor("fallback"), FallbackChainPredictor)
+
     def test_factory_rejects_unknown(self):
         with pytest.raises(ValueError, match="unknown predictor"):
             make_predictor("oracle")

@@ -139,6 +139,18 @@ class TestRequiredContainers:
         with pytest.raises(ValueError, match="exceeds max_servers|no container count"):
             required_containers(1e6, 1e-6, 1e-9, max_servers=100)
 
+    def test_unstable_queue_raises_structured_code(self):
+        from repro.errors import CapacityModelUnstable
+
+        with pytest.raises(CapacityModelUnstable) as excinfo:
+            required_containers(1e6, 1e-6, 1e-9, max_servers=100)
+        error = excinfo.value
+        assert error.code == "capacity_model_unstable"
+        assert error.context["max_servers"] == 100
+        # Still a ValueError so pre-taxonomy call sites (and the
+        # degradation ladder's except clause) keep working.
+        assert isinstance(error, ValueError)
+
     def test_halfin_whitt_matches_exact_inversion(self):
         """The large-load fast path agrees with the exact bisection."""
         lam, mean_duration = 2.0, 1500.0  # offered = 3000 (HW path)

@@ -32,6 +32,19 @@ class TestValidateTrace:
         assert "short task fraction (<100 s)" in failed_names
         assert "all priority groups populated" in failed_names
 
+    @pytest.mark.parametrize("num_tasks", [0, 1])
+    def test_degenerate_trace_fails_instead_of_crashing(self, num_tasks):
+        """Empty/single-task traces (e.g. everything quarantined) must
+        produce a failing report, not a divide-by-zero."""
+        machines = (
+            MachineType(platform_id=1, cpu_capacity=1.0, memory_capacity=1.0, count=10),
+        )
+        tasks = [make_task(job_id=i) for i in range(num_tasks)]
+        report = validate_trace(Trace.from_tasks(machines, tasks, horizon=100.0))
+        assert not report.passed
+        assert [c.name for c in report.failures()] == ["minimum sample size"]
+        assert report.checks[0].measured == float(num_tasks)
+
     def test_check_rows_renderable(self, small_trace):
         report = validate_trace(small_trace)
         for check in report.checks:
