@@ -22,6 +22,12 @@ sanitize
     clean/repaired/quarantined counts, per-rule breakdowns, the report
     digest and the quarantine file path.  ``--strict`` exits non-zero if
     anything was quarantined.
+lint
+    Run harmonylint (:mod:`repro.statics`) over the tree: AST rules for
+    the determinism/digest/taxonomy invariants (DET/ERR/PCK/NUM/API
+    codes), ``# repro: noqa[CODE]`` suppressions and a committed
+    grandfathering baseline.  Exit codes are stable: 0 clean, 1
+    non-baselined findings, 2 usage/configuration error.
 bench
     Run a scenario suite (scalability / ablation / robustness) through
     the parallel :class:`~repro.runner.ScenarioRunner` and write a
@@ -345,6 +351,91 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.statics import (
+        DEFAULT_BASELINE_NAME,
+        Baseline,
+        BaselineError,
+        build_baseline,
+        lint_paths,
+        load_baseline,
+        save_baseline,
+    )
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"repro lint: --root {args.root} is not a directory", file=sys.stderr)
+        return 2
+
+    try:
+        report = lint_paths(args.paths, root=root)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
+    if not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+    baseline = Baseline()
+    if not args.no_baseline and baseline_path.exists():
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+
+    if args.fix_baseline:
+        previous = baseline if baseline.entries else None
+        path = save_baseline(build_baseline(report.findings, previous), baseline_path)
+        print(
+            f"wrote {path} ({len(report.findings)} finding(s) baselined; "
+            "justify each entry before committing)"
+        )
+        return 0
+
+    reported, baselined = baseline.apply(report.findings)
+    stale = baseline.stale_fingerprints(report.findings)
+
+    if args.format == "json":
+        payload = {
+            "tool": "harmonylint",
+            "version": 1,
+            "root": str(root),
+            "files_checked": report.files_checked,
+            "findings": [finding.to_dict() for finding in reported],
+            "summary": {
+                "total": len(reported),
+                "baselined": baselined,
+                "suppressed": report.suppressed,
+                "stale_baseline_entries": len(stale),
+                "by_code": _lint_counts(reported),
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in reported:
+            print(finding.format_text())
+        status = "clean" if not reported else f"{len(reported)} finding(s)"
+        print(
+            f"repro lint: {status} — {report.files_checked} file(s), "
+            f"{baselined} baselined, {report.suppressed} suppressed"
+        )
+        if stale:
+            print(
+                f"repro lint: {len(stale)} stale baseline entr(y/ies); "
+                "run --fix-baseline to drop them",
+                file=sys.stderr,
+            )
+    return 1 if reported else 0
+
+
+def _lint_counts(findings) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    return dict(sorted(counts.items()))
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis import build_report
 
@@ -484,6 +575,38 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--load", type=float, default=None,
                        help="override REPRO_BENCH_LOAD for this run")
     bench.set_defaults(fn=cmd_bench)
+
+    lint = subparsers.add_parser(
+        "lint", help="run harmonylint (repro.statics) over the tree"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files/directories to lint, relative to --root "
+             "(default: src tests)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--root", type=Path, default=Path("."),
+        help="tree root findings are reported relative to (default: .)",
+    )
+    lint.add_argument(
+        "--baseline", type=Path, default=None, metavar="PATH",
+        help="baseline file of grandfathered findings "
+             "(default: <root>/lint-baseline.json when it exists)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    lint.add_argument(
+        "--fix-baseline", action="store_true",
+        help="rewrite the baseline from the current findings "
+             "(existing justifications are preserved) and exit 0",
+    )
+    lint.set_defaults(fn=cmd_lint)
 
     report = subparsers.add_parser(
         "report", help="run the evaluation and write a markdown report"

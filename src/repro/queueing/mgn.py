@@ -38,6 +38,14 @@ _INVERSE_CACHE_SIZE = 16_384
 
 @lru_cache(maxsize=_ERLANG_CACHE_SIZE)
 def _erlang_b_cached(offered_load: float, servers: int) -> float:
+    # Validated here (not only in the erlang_b wrapper) so the recurrence
+    # itself can never run on a negative or NaN load, whichever entry
+    # point reached it; lru_cache does not cache raises, so bad inputs
+    # fail on every call.
+    if not (offered_load >= 0):
+        raise ValueError(f"offered_load must be >= 0, got {offered_load}")
+    if servers < 0:
+        raise ValueError(f"servers must be >= 0, got {servers}")
     blocking = 1.0
     for k in range(1, servers + 1):
         blocking = offered_load * blocking / (k + offered_load * blocking)
@@ -49,10 +57,6 @@ def erlang_b(offered_load: float, servers: int) -> float:
 
     ``B(a, 0) = 1;  B(a, k) = a B(a, k-1) / (k + a B(a, k-1))``.
     """
-    if offered_load < 0:
-        raise ValueError(f"offered_load must be >= 0, got {offered_load}")
-    if servers < 0:
-        raise ValueError(f"servers must be >= 0, got {servers}")
     return _erlang_b_cached(offered_load, servers)
 
 

@@ -13,6 +13,11 @@ from dataclasses import dataclass
 import numpy as np
 
 
+#: Absolute tolerance for classifying an SCV as exponential/deterministic;
+#: well below any physically meaningful squared coefficient of variation.
+_SCV_TOLERANCE = 1e-12
+
+
 @dataclass(frozen=True)
 class QueueSimulationResult:
     """Outcome of one M/G/N simulation run."""
@@ -55,9 +60,12 @@ def simulate_mgn_queue(
     rng = np.random.default_rng(seed)
     arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, size=num_tasks))
     mean_service = 1.0 / service_rate
-    if scv == 0:
+    # Branch on tolerance, not exact float equality: an scv that arrives as
+    # 1.0 +/- 1 ulp from an upstream moment computation must select the
+    # same (exponential) service-time model as an exact 1.0.
+    if math.isclose(scv, 0.0, abs_tol=_SCV_TOLERANCE):
         services = np.full(num_tasks, mean_service)
-    elif scv == 1.0:
+    elif math.isclose(scv, 1.0, rel_tol=1e-9, abs_tol=_SCV_TOLERANCE):
         services = rng.exponential(mean_service, size=num_tasks)
     else:
         sigma2 = math.log(1.0 + scv)

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 from repro.energy.models import MachineModel
+from repro.errors import SolverError
 from repro.provisioning.autoscaler import ThresholdAutoscaler, ThresholdConfig
 from repro.provisioning.controller import ProvisioningDecision
 
@@ -138,6 +139,10 @@ class GuardedController:
         self.fallback = fallback or ThresholdAutoscaler(machine_models, ThresholdConfig())
         self.stats = GuardStats()
         self.tripped = False
+        #: Structured record of every wrapped-policy failure the guard
+        #: absorbed (``stage`` context: decide / observe / forecast), so
+        #: fallbacks are diagnosable instead of silently swallowed.
+        self.failure_log: list[SolverError] = []
         #: (time, "mpc" | "reactive") per control tick.
         self.mode_timeline: list[tuple[float, str]] = []
         #: Sanitized decisions actually handed to the cluster.
@@ -184,7 +189,19 @@ class GuardedController:
         started = _time.perf_counter()
         try:
             decision = self.policy.decide(view)
-        except Exception:
+        except Exception as exc:
+            # Any solver-path failure must be absorbed (that is the guard's
+            # contract), but mapped onto the structured taxonomy rather
+            # than silently dropped.
+            self.failure_log.append(
+                SolverError(
+                    "wrapped policy decide() failed; reapplying "
+                    "last-known-good plan",
+                    stage="decide",
+                    time=view.time,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
             self.stats.solver_failures += 1
             return self._last_good_decision(view)
         elapsed = _time.perf_counter() - started
@@ -209,8 +226,17 @@ class GuardedController:
         if observe is not None:
             try:
                 observe(view)
-            except Exception:
-                pass
+            except Exception as exc:
+                # A failing observer must not break the reactive path, but
+                # the failure is recorded, not swallowed.
+                self.failure_log.append(
+                    SolverError(
+                        "wrapped policy observe_view() failed while tripped",
+                        stage="observe",
+                        time=view.time,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
 
     # ----------------------------------------------------- circuit breaker
 
@@ -255,7 +281,17 @@ class GuardedController:
         try:
             rates = controller.forecast_rates()
             return float(rates[0].sum()) * float(controller.config.interval_seconds)
-        except Exception:
+        except Exception as exc:
+            # Fall back to the EWMA self-forecast, but leave a structured
+            # trace of why the model's own forecast was unusable.
+            self.failure_log.append(
+                SolverError(
+                    "wrapped controller forecast_rates() failed; using "
+                    "EWMA self-forecast",
+                    stage="forecast",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
             return None
 
     # ----------------------------------------------------------- sanitizing

@@ -131,12 +131,15 @@ def _worker_main(scenario: Scenario, conn) -> None:
     except BaseException as exc:  # noqa: BLE001 — report, parent decides
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
-        except Exception:
-            pass  # parent sees the exit code instead
+        except (OSError, ValueError):
+            # Pipe already gone or payload unpicklable: the parent
+            # classifies this attempt as a ScenarioCrash from the exit
+            # code instead.
+            pass
     finally:
         try:
             conn.close()
-        except Exception:
+        except OSError:
             pass
 
 
@@ -341,7 +344,9 @@ class ScenarioSupervisor:
         flight.process.join(timeout=5.0)
         try:
             flight.conn.close()
-        except Exception:
+        except OSError:
+            # Double-close after a poll() error is fine; the outcome was
+            # already classified as a ScenarioCrash by the caller.
             pass
 
     def _handle_failure(

@@ -1,0 +1,247 @@
+"""The harmonylint engine: discovery, dispatch, suppression, reporting.
+
+One :class:`LintEngine` walks each module's AST exactly once.  Rules
+register themselves simply by defining ``visit_<NodeType>`` methods; the
+dispatcher indexes those handlers per node type, maintains the function
+scope stack, and hands every rule the shared
+:class:`~repro.statics.context.ModuleContext`.
+
+After the walk the engine applies ``# repro: noqa[CODE]`` suppressions
+(marking which comments earned their keep), emits SUP001 for the ones that
+did not, and sorts the surviving findings deterministically — the linter
+is held to the same reproducibility bar it enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.statics.context import ModuleContext
+from repro.statics.findings import Finding
+from repro.statics.rules import KNOWN_CODES, Rule, UselessSuppression, default_rules
+
+#: Directory names never descended into during discovery.  ``fixtures``
+#: is excluded because the lint fixture corpus under tests/fixtures/lint/
+#: contains deliberately bad snippets (lint it explicitly via ``--root``).
+EXCLUDED_DIRS = frozenset(
+    {".git", "__pycache__", ".venv", "venv", "build", "dist", "fixtures"}
+)
+
+
+class _Walk(ast.NodeVisitor):
+    """Single-pass dispatcher: node events fan out to interested rules."""
+
+    def __init__(self, ctx: ModuleContext, rules: list[Rule], sink: list[Finding]):
+        self.ctx = ctx
+        self.scopes: list[ast.AST] = []
+        self._sink = sink
+        self._current_rule: Rule | None = None
+        self._handlers: dict[str, list[tuple[Rule, object]]] = {}
+        for rule in rules:
+            for attr in dir(rule):
+                if attr.startswith("visit_"):
+                    node_type = attr[len("visit_"):]
+                    self._handlers.setdefault(node_type, []).append(
+                        (rule, getattr(rule, attr))
+                    )
+
+    def report(self, node: ast.AST, message: str) -> None:
+        rule = self._current_rule
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        self._sink.append(
+            Finding(
+                code=rule.code,
+                severity=rule.severity,
+                path=self.ctx.rel_path,
+                line=line,
+                column=column,
+                message=message,
+                source_line=self.ctx.source_line(line),
+            )
+        )
+
+    def visit(self, node: ast.AST) -> None:
+        is_scope = isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        )
+        if is_scope:
+            self.scopes.append(node)
+        try:
+            for rule, handler in self._handlers.get(type(node).__name__, ()):
+                self._current_rule = rule
+                handler(node, self)
+            self._current_rule = None
+            self.generic_visit(node)
+        finally:
+            if is_scope:
+                self.scopes.pop()
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run (pre-baseline)."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    def by_code(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def codes(self) -> set[str]:
+        return {finding.code for finding in self.findings}
+
+
+class LintEngine:
+    """Runs the rule set over files and directories."""
+
+    def __init__(self, rules: list[Rule] | None = None) -> None:
+        self.rules = rules if rules is not None else default_rules()
+        self._sup001 = next(
+            (r for r in self.rules if isinstance(r, UselessSuppression)), None
+        )
+        self._suppressed_last = 0
+
+    # ------------------------------------------------------------- discovery
+
+    @staticmethod
+    def discover(paths: list[Path]) -> list[Path]:
+        """All ``.py`` files under ``paths``, deterministically sorted.
+
+        Explicit file arguments are always linted, even inside excluded
+        directories; discovery only prunes while walking directories.
+        """
+        files: set[Path] = set()
+        for path in paths:
+            if path.is_file():
+                files.add(path)
+                continue
+            for candidate in sorted(path.rglob("*.py")):
+                relative = candidate.relative_to(path)
+                if any(part in EXCLUDED_DIRS for part in relative.parts[:-1]):
+                    continue
+                files.add(candidate)
+        return sorted(files)
+
+    # ------------------------------------------------------------------ lint
+
+    def lint_source(self, rel_path: str, source: str) -> list[Finding]:
+        """Lint one in-memory module (the test-facing entry point)."""
+        ctx = ModuleContext(rel_path, source)
+        if ctx.tree is None:
+            error = ctx.syntax_error
+            line = error.lineno or 1
+            return [
+                Finding(
+                    code="SYN000",
+                    severity="error",
+                    path=ctx.rel_path,
+                    line=line,
+                    column=(error.offset or 1) - 1,
+                    message=f"file does not parse: {error.msg}",
+                    source_line=ctx.source_line(line),
+                )
+            ]
+
+        active = [rule for rule in self.rules if rule.applies(ctx)]
+        for rule in active:
+            rule.start_module(ctx)
+        raw: list[Finding] = []
+        walker = _Walk(ctx, active, raw)
+        walker.visit(ctx.tree)
+
+        kept: list[Finding] = []
+        for finding in raw:
+            suppression = ctx.suppression_for(finding.line, finding.code)
+            if suppression is not None:
+                suppression.used_codes.add(finding.code)
+            else:
+                kept.append(finding)
+        self._suppressed_last = len(raw) - len(kept)
+
+        kept.extend(self._useless_suppressions(ctx))
+        kept.sort(key=Finding.sort_key)
+        return kept
+
+    def _useless_suppressions(self, ctx: ModuleContext) -> list[Finding]:
+        """SUP001 findings: unknown codes and suppressions that matched
+        nothing.  Exempt from suppression by design."""
+        if self._sup001 is None:
+            return []
+        findings = []
+
+        def emit(suppression, message):
+            findings.append(
+                Finding(
+                    code=self._sup001.code,
+                    severity=self._sup001.severity,
+                    path=ctx.rel_path,
+                    line=suppression.line,
+                    column=0,
+                    message=message,
+                    source_line=ctx.source_line(suppression.line),
+                )
+            )
+
+        for suppression in ctx.suppressions:
+            if suppression.codes is None:
+                if not suppression.used_codes:
+                    emit(suppression, "blanket 'repro: noqa' suppressed nothing")
+                continue
+            for code in sorted(suppression.codes):
+                if code not in KNOWN_CODES:
+                    emit(suppression, f"unknown rule code {code} in suppression")
+                elif code not in suppression.used_codes:
+                    emit(
+                        suppression,
+                        f"suppression for {code} matched no finding; delete it",
+                    )
+        return findings
+
+    def lint_paths(
+        self, paths: list[str | Path], root: str | Path = "."
+    ) -> LintReport:
+        """Lint files/directories (resolved against ``root``).
+
+        Finding paths are reported relative to ``root`` (POSIX form), so
+        the same tree lints identically from any working directory — and
+        so baseline fingerprints are location-independent.
+        """
+        root = Path(root).resolve()
+        resolved: list[Path] = []
+        for path in paths:
+            path = Path(path)
+            if not path.is_absolute():
+                path = root / path
+            if not path.exists():
+                raise FileNotFoundError(f"no such file or directory: {path}")
+            resolved.append(path)
+
+        report = LintReport()
+        for file_path in self.discover(resolved):
+            try:
+                rel = file_path.resolve().relative_to(root).as_posix()
+            except ValueError:
+                rel = file_path.as_posix()
+            source = file_path.read_text(encoding="utf-8")
+            report.findings.extend(self.lint_source(rel, source))
+            report.suppressed += self._suppressed_last
+            report.files_checked += 1
+        report.findings.sort(key=Finding.sort_key)
+        return report
+
+
+def lint_paths(
+    paths: list[str | Path], root: str | Path = ".", rules: list[Rule] | None = None
+) -> LintReport:
+    """Convenience wrapper: lint ``paths`` with the default rule set."""
+    return LintEngine(rules=rules).lint_paths(paths, root=root)
+
+
+__all__ = ["LintEngine", "LintReport", "lint_paths", "EXCLUDED_DIRS"]

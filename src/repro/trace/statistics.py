@@ -12,6 +12,11 @@ import numpy as np
 
 from repro.trace.schema import PriorityGroup, Task, Trace
 
+#: A resource span at or below this is treated as zero variance: requests
+#: are normalized to [0, 1], so anything smaller than 1e-12 is numerical
+#: noise, and exact float equality against 0.0 would miss it.
+_DEGENERATE_SPAN = 1e-12
+
 
 def empirical_cdf(values: np.ndarray | list[float]) -> tuple[np.ndarray, np.ndarray]:
     """Empirical CDF of a sample.
@@ -74,7 +79,10 @@ class SizeScatter:
         """
         if self.cpu.size < 2:
             return 0.0
-        if float(np.ptp(self.cpu)) == 0.0 or float(np.ptp(self.memory)) == 0.0:
+        if (
+            float(np.ptp(self.cpu)) <= _DEGENERATE_SPAN
+            or float(np.ptp(self.memory)) <= _DEGENERATE_SPAN
+        ):
             return 0.0
         with np.errstate(invalid="ignore", divide="ignore"):
             correlation = float(np.corrcoef(self.cpu, self.memory)[0, 1])

@@ -1,0 +1,14 @@
+"""API001 triggers: mutable default arguments."""
+
+
+def accumulate(value, bucket=[]):
+    bucket.append(value)
+    return bucket
+
+
+def lookup(key, *, cache={}):
+    return cache.get(key)
+
+
+def fresh(items=list()):
+    return items

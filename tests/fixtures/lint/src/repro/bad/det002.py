@@ -1,0 +1,12 @@
+"""DET002 triggers: wall-clock reads outside the timing allowlist."""
+
+import datetime
+import time
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def today() -> str:
+    return datetime.datetime.now().isoformat()

@@ -1,0 +1,8 @@
+"""DET003 triggers: unsorted iteration over set expressions."""
+
+
+def emit(rows):
+    for label in {"b", "a", "c"}:
+        print(label)
+    names = [r.name for r in set(rows)]
+    return list({row.key for row in rows}), names

@@ -1,0 +1,9 @@
+"""DET004 triggers: exact float equality outside tests."""
+
+
+def classify(scv: float) -> str:
+    if scv == 1.0:
+        return "exponential"
+    if scv != 0.0:
+        return "general"
+    return "deterministic"

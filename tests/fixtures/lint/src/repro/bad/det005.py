@@ -1,0 +1,14 @@
+"""DET005 triggers: filesystem-order iteration without sorted()."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def discover(root: str) -> list[str]:
+    found = []
+    for name in os.listdir(root):
+        found.append(name)
+    found.extend(glob.glob("*.json"))
+    found.extend(str(p) for p in Path(root).glob("*.csv"))
+    return found

@@ -1,0 +1,17 @@
+"""ERR001 triggers: broad excepts that swallow the failure."""
+
+
+def load(path: str):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except Exception:
+        return None
+
+
+def tick(callback) -> bool:
+    try:
+        callback()
+        return True
+    except (ValueError, Exception):
+        return False

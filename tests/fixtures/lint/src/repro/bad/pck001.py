@@ -1,0 +1,13 @@
+"""PCK001 triggers: unpicklable callables at spawn entry points."""
+
+from multiprocessing import Process
+
+
+def run(pool, items):
+    def local_task(x):
+        return x + 1
+
+    pool.map(local_task, items)
+    worker = Process(target=lambda: None)
+    worker.start()
+    return pool.map(lambda x: x * 2, items)

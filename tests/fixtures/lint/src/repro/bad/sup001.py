@@ -1,0 +1,5 @@
+"""SUP001 triggers: suppressions that name unknown codes or match nothing."""
+
+ANSWER = 42  # repro: noqa[DET004]
+TOTAL = ANSWER + 1  # repro: noqa[ZZZ999]
+LABEL = "clean line"  # repro: noqa

@@ -1,0 +1,5 @@
+"""SYN000 trigger: a file that does not parse."""
+
+
+def broken(:
+    return None

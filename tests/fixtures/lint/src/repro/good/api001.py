@@ -1,0 +1,11 @@
+"""API001-clean: None defaults, constructed inside the function."""
+
+
+def accumulate(value, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(value)
+    return bucket
+
+
+def lookup(key, *, cache=None):
+    return (cache or {}).get(key)

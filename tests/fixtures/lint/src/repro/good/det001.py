@@ -1,0 +1,18 @@
+"""DET001-clean: every generator is explicitly seeded."""
+
+import random
+
+import numpy as np
+
+
+def jitter(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def seeded_rng(seed: int):
+    return np.random.default_rng(seed)
+
+
+def seeded_rng_keyword(config):
+    return np.random.default_rng(seed=config.seed)

@@ -1,0 +1,8 @@
+"""DET003-clean: set iteration goes through sorted()."""
+
+
+def emit(rows):
+    for label in sorted({"b", "a", "c"}):
+        print(label)
+    names = [r for r in sorted(set(rows))]
+    return sorted({row.key for row in rows}), names

@@ -1,0 +1,11 @@
+"""DET004-clean: float comparison via tolerance."""
+
+import math
+
+
+def classify(scv: float) -> str:
+    if math.isclose(scv, 1.0, rel_tol=1e-9):
+        return "exponential"
+    if scv > 1e-12:
+        return "general"
+    return "deterministic"

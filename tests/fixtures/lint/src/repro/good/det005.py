@@ -1,0 +1,14 @@
+"""DET005-clean: filesystem listings wrapped in sorted()."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def discover(root: str) -> list[str]:
+    found = []
+    for name in sorted(os.listdir(root)):
+        found.append(name)
+    found.extend(sorted(glob.glob("*.json")))
+    found.extend(str(p) for p in sorted(Path(root).glob("*.csv")))
+    return found

@@ -1,0 +1,27 @@
+"""ERR001-clean: broad excepts that re-raise, examine, or map the failure."""
+
+from repro.errors import SolverError
+
+
+def load(path: str, log):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except Exception as exc:
+        log.append(f"{type(exc).__name__}: {exc}")
+        return None
+
+
+def decide(policy, view):
+    try:
+        return policy.decide(view)
+    except Exception as exc:
+        raise SolverError("decide failed", stage="decide") from exc
+
+
+def narrow(callback) -> bool:
+    try:
+        callback()
+        return True
+    except (ValueError, OSError):
+        return False

@@ -1,0 +1,14 @@
+"""PCK001-clean: module-level callables at spawn entry points."""
+
+from multiprocessing import Process
+
+
+def task(x):
+    return x + 1
+
+
+def run(pool, items):
+    pool.map(task, items)
+    worker = Process(target=task, args=(0,))
+    worker.start()
+    return pool.starmap(task, [(i,) for i in items])

@@ -1,0 +1,7 @@
+"""SUP001-clean: the suppression below matches a real finding, so it is used."""
+
+
+def is_sentinel(value: float) -> bool:
+    # The sentinel is assigned verbatim, never computed, so exact
+    # equality is intentional here.
+    return value == 1.5  # repro: noqa[DET004]

@@ -1,0 +1,11 @@
+"""NUM001 triggers: unguarded division/log in a numeric hot path."""
+
+import math
+
+
+def inverse_rate(rate: float) -> float:
+    return 1.0 / rate
+
+
+def log_load(load: float) -> float:
+    return math.log(load)

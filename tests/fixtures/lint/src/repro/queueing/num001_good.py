@@ -1,0 +1,15 @@
+"""NUM001-clean: every risky input is examined before use."""
+
+import math
+
+
+def inverse_rate(rate: float) -> float:
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    return 1.0 / rate
+
+
+def log_load(load: float) -> float:
+    if not math.isfinite(load) or load <= 0:
+        raise ValueError(f"load must be finite and positive, got {load}")
+    return math.log(load)

@@ -1,0 +1,9 @@
+"""DET002-clean: wall-clock reads are allowed under runner/."""
+
+import time
+
+
+def measure(work) -> float:
+    started = time.perf_counter()
+    work()
+    return time.perf_counter() - started

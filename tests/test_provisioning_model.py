@@ -11,7 +11,11 @@ from repro.provisioning import (
     UtilityFunction,
     build_problem,
 )
-from repro.provisioning.model import default_utility_weight, group_utility_multiplier
+from repro.provisioning.model import (
+    _MIN_WORST_CASE_COST,
+    default_utility_weight,
+    group_utility_multiplier,
+)
 
 
 class TestUtilityFunction:
@@ -195,3 +199,48 @@ class TestBuildProblem:
         for spec in manager.specs.values():
             by_group[spec.task_class.group.name] = group_utility_multiplier(spec)
         assert by_group["PRODUCTION"] > by_group["OTHER"] > by_group["GRATIS"]
+
+
+class TestUtilityWeightFloor:
+    """Boundary behavior of the worst-case-cost floor in the default weight."""
+
+    def test_no_compatible_machine_gets_floor(self, manager):
+        spec = next(iter(manager.specs.values()))
+        weight = default_utility_weight((), spec, price=0.1, interval_seconds=300.0)
+        assert weight == pytest.approx(3.0 * 0.001)
+
+    def test_subfloor_cost_gets_same_floor(self, manager):
+        """A cost of a few ulps must behave exactly like a cost of zero."""
+        spec = next(iter(manager.specs.values()))
+        ghost = MachineClass(
+            platform_id=99,
+            name="ghost",
+            capacity=(1.0, 1.0),
+            available=1,
+            idle_watts=0.0,
+            alpha_watts=(1e-12, 1e-12),
+            switch_cost=0.0,
+        )
+        weight = default_utility_weight(
+            (ghost,), spec, price=0.1, interval_seconds=300.0
+        )
+        assert weight == pytest.approx(3.0 * 0.001)
+
+    def test_real_cost_unaffected_by_floor(self, fleet, manager):
+        """A genuine cost above the tolerance is preserved, not floored."""
+        spec = next(iter(manager.specs.values()))
+        machines = tuple(MachineClass.from_machine_model(m) for m in fleet)
+        weight = default_utility_weight(
+            machines, spec, price=0.1, interval_seconds=300.0
+        )
+        worst = 0.0
+        for machine in machines:
+            if all(s <= c + 1e-12 for s, c in zip(spec.demand, machine.capacity)):
+                fill = max(s / c for s, c in zip(spec.demand, machine.capacity))
+                watts = machine.idle_watts * fill + sum(
+                    a * s / c
+                    for a, s, c in zip(machine.alpha_watts, spec.demand, machine.capacity)
+                )
+                worst = max(worst, watts / 1000.0 * (300.0 / 3600.0) * 0.1)
+        assert worst > _MIN_WORST_CASE_COST
+        assert weight == pytest.approx(3.0 * worst)

@@ -244,3 +244,44 @@ class TestAgainstDiscreteEventQueue:
             simulate_mgn_queue(1.0, 1.0, 1, num_tasks=5)
         with pytest.raises(ValueError):
             simulate_mgn_queue(1.0, 1.0, 1, warmup_fraction=1.0)
+
+
+class TestScvBranchBoundary:
+    """Service-model selection is tolerance-based, not exact float equality.
+
+    An ``scv`` that reaches the simulator as ``1.0 +/- 1 ulp`` (a common
+    artifact of upstream moment computations) must draw from the same
+    exponential model as an exact ``1.0``, and likewise near zero.
+    """
+
+    def test_scv_one_ulp_above_one_matches_exponential(self):
+        from repro.queueing import simulate_mgn_queue
+
+        exact = simulate_mgn_queue(2.0, 1.0, 4, scv=1.0, num_tasks=2000)
+        nudged = simulate_mgn_queue(
+            2.0, 1.0, 4, scv=math.nextafter(1.0, 2.0), num_tasks=2000
+        )
+        assert nudged == exact  # bit-identical: same branch, same rng draws
+
+    def test_scv_one_ulp_below_one_matches_exponential(self):
+        from repro.queueing import simulate_mgn_queue
+
+        exact = simulate_mgn_queue(2.0, 1.0, 4, scv=1.0, num_tasks=2000)
+        nudged = simulate_mgn_queue(
+            2.0, 1.0, 4, scv=math.nextafter(1.0, 0.0), num_tasks=2000
+        )
+        assert nudged == exact
+
+    def test_subtolerance_scv_is_deterministic_service(self):
+        from repro.queueing import simulate_mgn_queue
+
+        exact = simulate_mgn_queue(0.5, 1.0, 2, scv=0.0, num_tasks=1000)
+        nudged = simulate_mgn_queue(0.5, 1.0, 2, scv=1e-13, num_tasks=1000)
+        assert nudged == exact
+
+    def test_scv_outside_tolerance_uses_lognormal(self):
+        from repro.queueing import simulate_mgn_queue
+
+        exponential = simulate_mgn_queue(2.0, 1.0, 4, scv=1.0, num_tasks=2000)
+        lognormal = simulate_mgn_queue(2.0, 1.0, 4, scv=1.01, num_tasks=2000)
+        assert lognormal != exponential

@@ -1,0 +1,342 @@
+"""Tests for repro.statics (harmonylint): rules, suppressions, baseline, CLI.
+
+The fixture corpus under ``tests/fixtures/lint`` is a miniature tree
+(``src/repro/...``) linted with ``--root tests/fixtures/lint`` so the
+path-scoped rules (src-only, timing allowlist, numeric hot paths) see the
+same layout they see in the real repository.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.statics import (
+    ALL_RULES,
+    KNOWN_CODES,
+    Baseline,
+    BaselineError,
+    Finding,
+    LintEngine,
+    build_baseline,
+    lint_paths,
+    load_baseline,
+    save_baseline,
+)
+
+FIXTURE_ROOT = Path(__file__).parent / "fixtures" / "lint"
+REPO_ROOT = Path(__file__).parents[1]
+
+
+def lint_corpus(*paths: str):
+    return lint_paths(list(paths) or ["src"], root=FIXTURE_ROOT)
+
+
+def codes_in(report) -> set[str]:
+    return {f.code for f in report.findings}
+
+
+class TestRuleCatalog:
+    def test_codes_are_unique(self):
+        codes = [rule.code for rule in ALL_RULES]
+        assert len(codes) == len(set(codes))
+
+    def test_known_codes_cover_rules_and_syntax(self):
+        assert {rule.code for rule in ALL_RULES} | {"SYN000"} == KNOWN_CODES
+
+    def test_every_rule_documents_itself(self):
+        for rule in ALL_RULES:
+            assert rule.code and rule.name and rule.summary and rule.rationale
+            assert rule.severity in ("error", "warning")
+
+
+class TestBadCorpusTriggersEveryRule:
+    def test_every_known_code_fires(self):
+        report = lint_corpus("src")
+        assert codes_in(report) == KNOWN_CODES
+
+    @pytest.mark.parametrize(
+        "fixture, code",
+        [
+            ("src/repro/bad/det001.py", "DET001"),
+            ("src/repro/bad/det002.py", "DET002"),
+            ("src/repro/bad/det003.py", "DET003"),
+            ("src/repro/bad/det004.py", "DET004"),
+            ("src/repro/bad/det005.py", "DET005"),
+            ("src/repro/bad/err001.py", "ERR001"),
+            ("src/repro/bad/pck001.py", "PCK001"),
+            ("src/repro/bad/api001.py", "API001"),
+            ("src/repro/bad/sup001.py", "SUP001"),
+            ("src/repro/bad/syn000.py", "SYN000"),
+            ("src/repro/queueing/num001.py", "NUM001"),
+        ],
+    )
+    def test_bad_fixture_triggers_exactly_its_code(self, fixture, code):
+        report = lint_corpus(fixture)
+        assert codes_in(report) == {code}
+
+    def test_det001_variants(self):
+        report = lint_corpus("src/repro/bad/det001.py")
+        messages = " ".join(f.message for f in report.findings)
+        assert "random.Random() instantiated" in messages
+        assert "legacy numpy global RNG" in messages
+        assert "default_rng() without a seed" in messages
+
+    def test_pck001_flags_lambda_and_closure(self):
+        report = lint_corpus("src/repro/bad/pck001.py")
+        messages = " ".join(f.message for f in report.findings)
+        assert "lambda" in messages and "local_task" in messages
+
+
+class TestGoodCorpusIsClean:
+    @pytest.mark.parametrize(
+        "fixture",
+        [
+            "src/repro/good/det001.py",
+            "src/repro/good/det003.py",
+            "src/repro/good/det004.py",
+            "src/repro/good/det005.py",
+            "src/repro/good/err001.py",
+            "src/repro/good/pck001.py",
+            "src/repro/good/api001.py",
+            "src/repro/good/sup001.py",
+            "src/repro/queueing/num001_good.py",
+            "src/repro/runner/det002.py",
+        ],
+    )
+    def test_good_fixture_is_clean(self, fixture):
+        report = lint_corpus(fixture)
+        assert report.findings == []
+
+    def test_det002_allowlist_is_path_scoped(self):
+        """The same clock call flags outside runner/ but not inside it."""
+        source = Path(FIXTURE_ROOT, "src/repro/runner/det002.py").read_text()
+        engine = LintEngine()
+        inside = engine.lint_source("src/repro/runner/det002.py", source)
+        outside = engine.lint_source("src/repro/resilience/det002.py", source)
+        assert inside == []
+        assert {f.code for f in outside} == {"DET002"}
+
+    def test_num001_only_fires_in_hot_paths(self):
+        source = Path(FIXTURE_ROOT, "src/repro/queueing/num001.py").read_text()
+        engine = LintEngine()
+        hot = engine.lint_source("src/repro/queueing/num001.py", source)
+        cold = engine.lint_source("src/repro/trace/num001.py", source)
+        assert {f.code for f in hot} == {"NUM001"}
+        assert cold == []
+
+
+class TestSuppressions:
+    def test_used_suppression_silences_and_counts(self):
+        engine = LintEngine()
+        source = Path(FIXTURE_ROOT, "src/repro/good/sup001.py").read_text()
+        findings = engine.lint_source("src/repro/good/sup001.py", source)
+        assert findings == []
+
+    def test_unused_suppression_reports_sup001(self):
+        report = lint_corpus("src/repro/bad/sup001.py")
+        messages = sorted(f.message for f in report.findings)
+        assert len(messages) == 3
+        assert any("matched no finding" in m for m in messages)
+        assert any("unknown rule code" in m for m in messages)
+        assert any("blanket" in m for m in messages)
+
+    def test_blanket_noqa_suppresses_any_code(self):
+        engine = LintEngine()
+        findings = engine.lint_source(
+            "src/repro/x.py",
+            "def f(scv):\n    return scv == 1.0  # repro: noqa\n",
+        )
+        assert findings == []
+
+    def test_wrong_code_does_not_suppress(self):
+        engine = LintEngine()
+        findings = engine.lint_source(
+            "src/repro/x.py",
+            "def f(scv):\n    return scv == 1.0  # repro: noqa[DET005]\n",
+        )
+        codes = {f.code for f in findings}
+        assert "DET004" in codes  # the violation still reports
+        assert "SUP001" in codes  # and the mismatched noqa is called out
+
+    def test_sup001_is_exempt_from_suppression(self):
+        engine = LintEngine()
+        findings = engine.lint_source(
+            "src/repro/x.py",
+            "X = 1  # repro: noqa[SUP001]\n",
+        )
+        assert {f.code for f in findings} == {"SUP001"}
+
+    def test_directive_in_string_literal_is_ignored(self):
+        engine = LintEngine()
+        findings = engine.lint_source(
+            "src/repro/x.py",
+            'HELP = "# repro: noqa[DET004]"\n',
+        )
+        assert findings == []
+
+
+class TestFingerprints:
+    def test_fingerprint_is_line_number_independent(self):
+        a = Finding(
+            code="DET004", severity="error", path="src/repro/x.py",
+            line=10, column=4, message="m", source_line="if x == 1.0:",
+        )
+        b = Finding(
+            code="DET004", severity="error", path="src/repro/x.py",
+            line=99, column=0, message="m", source_line="if x == 1.0:",
+        )
+        assert a.fingerprint == b.fingerprint
+
+    def test_fingerprint_distinguishes_code_and_path(self):
+        base = dict(
+            severity="error", line=1, column=0, message="m",
+            source_line="if x == 1.0:",
+        )
+        a = Finding(code="DET004", path="src/repro/x.py", **base)
+        b = Finding(code="DET003", path="src/repro/x.py", **base)
+        c = Finding(code="DET004", path="src/repro/y.py", **base)
+        assert len({a.fingerprint, b.fingerprint, c.fingerprint}) == 3
+
+
+class TestBaseline:
+    def _findings(self):
+        return lint_corpus("src/repro/bad/det004.py").findings
+
+    def test_round_trip(self, tmp_path):
+        findings = self._findings()
+        baseline = build_baseline(findings)
+        path = tmp_path / "baseline.json"
+        save_baseline(baseline, path)
+        loaded = load_baseline(path)
+        reported, absorbed = loaded.apply(findings)
+        assert reported == []
+        assert absorbed == len(findings)
+        assert loaded.stale_fingerprints(findings) == []
+
+    def test_new_findings_still_report(self, tmp_path):
+        findings = self._findings()
+        baseline = build_baseline(findings[:1])
+        reported, absorbed = baseline.apply(findings)
+        assert absorbed == 1
+        assert len(reported) == len(findings) - 1
+
+    def test_fixed_findings_become_stale(self):
+        findings = self._findings()
+        baseline = build_baseline(findings)
+        assert baseline.stale_fingerprints([]) == sorted(
+            f.fingerprint for f in findings
+        )
+
+    def test_justifications_survive_rebuild(self):
+        findings = self._findings()
+        first = build_baseline(findings)
+        for entry in first.entries.values():
+            entry.justification = "known-good: sentinel compare"
+        second = build_baseline(findings, previous=first)
+        assert all(
+            e.justification == "known-good: sentinel compare"
+            for e in second.entries.values()
+        )
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+        path.write_text("not json")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_deterministic_serialization(self, tmp_path):
+        findings = list(reversed(self._findings()))
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_baseline(build_baseline(findings), a)
+        save_baseline(build_baseline(list(reversed(findings))), b)
+        assert a.read_text() == b.read_text()
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, capsys):
+        code = main(
+            ["lint", "src/repro/good", "--root", str(FIXTURE_ROOT)]
+        )
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_bad_corpus_exits_one(self, capsys):
+        code = main(["lint", "src", "--root", str(FIXTURE_ROOT)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "finding(s)" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        code = main(["lint", "no/such/dir", "--root", str(FIXTURE_ROOT)])
+        assert code == 2
+
+    def test_bad_root_exits_two(self, capsys):
+        code = main(["lint", "src", "--root", str(FIXTURE_ROOT / "nope")])
+        assert code == 2
+
+    def test_json_schema(self, capsys):
+        code = main(
+            ["lint", "src", "--root", str(FIXTURE_ROOT), "--format", "json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "harmonylint"
+        assert payload["version"] == 1
+        assert set(payload["summary"]) == {
+            "total", "baselined", "suppressed",
+            "stale_baseline_entries", "by_code",
+        }
+        assert payload["summary"]["total"] == len(payload["findings"])
+        for finding in payload["findings"]:
+            assert set(finding) == {
+                "code", "severity", "path", "line", "column",
+                "message", "fingerprint",
+            }
+        by_code = payload["summary"]["by_code"]
+        assert sum(by_code.values()) == payload["summary"]["total"]
+        assert set(by_code) == KNOWN_CODES
+
+    def test_fix_baseline_then_clean(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        args = [
+            "lint", "src", "--root", str(FIXTURE_ROOT),
+            "--baseline", str(baseline),
+        ]
+        assert main(args + ["--fix-baseline"]) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_no_baseline_overrides_baseline_file(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        args = [
+            "lint", "src", "--root", str(FIXTURE_ROOT),
+            "--baseline", str(baseline),
+        ]
+        assert main(args + ["--fix-baseline"]) == 0
+        capsys.readouterr()
+        assert main(args + ["--no-baseline"]) == 1
+
+    def test_corrupt_baseline_exits_two(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{broken")
+        code = main(
+            ["lint", "src", "--root", str(FIXTURE_ROOT),
+             "--baseline", str(baseline)]
+        )
+        assert code == 2
+
+
+class TestShippedTree:
+    def test_repo_src_lints_clean_with_committed_baseline(self, capsys):
+        code = main(["lint", "src", "--root", str(REPO_ROOT)])
+        assert code == 0, capsys.readouterr().out
+
+    def test_fixture_corpus_excluded_from_discovery(self):
+        report = lint_paths(["tests"], root=REPO_ROOT)
+        assert all("fixtures/lint" not in f.path for f in report.findings)

@@ -216,3 +216,38 @@ class TestConfigValidation:
         )
         constrained = [t for t in trace.tasks if t.allowed_platforms is not None]
         assert len(constrained) > 0.2 * trace.num_tasks
+
+
+class TestCorrelationDegenerateBoundary:
+    """Zero-variance samples get correlation 0.0 via a span tolerance."""
+
+    def test_constant_resource_returns_zero(self):
+        from repro.trace.statistics import SizeScatter
+
+        scatter = SizeScatter(
+            group=PriorityGroup.GRATIS,
+            cpu=np.full(10, 0.25),
+            memory=np.linspace(0.1, 0.9, 10),
+        )
+        assert scatter.cpu_memory_correlation == 0.0
+
+    def test_subtolerance_span_treated_as_constant(self):
+        from repro.trace.statistics import SizeScatter
+
+        cpu = np.full(10, 0.25)
+        cpu[0] += 1e-14  # numerical noise, not real variance
+        scatter = SizeScatter(
+            group=PriorityGroup.GRATIS,
+            cpu=cpu,
+            memory=np.linspace(0.1, 0.9, 10),
+        )
+        assert scatter.cpu_memory_correlation == 0.0
+
+    def test_real_variance_still_correlates(self):
+        from repro.trace.statistics import SizeScatter
+
+        values = np.linspace(0.1, 0.9, 10)
+        scatter = SizeScatter(
+            group=PriorityGroup.GRATIS, cpu=values, memory=values
+        )
+        assert scatter.cpu_memory_correlation == pytest.approx(1.0)
