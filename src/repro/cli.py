@@ -169,6 +169,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_resilience(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
+    if args.scenario != "all" and args.scenario not in RESILIENCE_SCENARIOS:
+        names = ", ".join(RESILIENCE_SCENARIOS + ("all",))
+        print(
+            f"repro resilience: unknown scenario {args.scenario!r} "
+            f"(hint: --scenario one of {names})",
+            file=sys.stderr,
+        )
+        return 2
     trace = _load_or_generate(args)
     base = HarmonyConfig(
         policy=args.policy, predictor=args.predictor, guard=not args.no_guard
@@ -193,6 +201,8 @@ def cmd_resilience(args: argparse.Namespace) -> int:
                 f"{metrics.mttr(censor_at=trace.horizon):.0f}s",
                 f"{metrics.mean_restart_latency(censor_at=trace.horizon):.0f}s",
                 f"{metrics.slo_attainment(300.0, include_unscheduled_at=trace.horizon):.3f}",
+                f"{metrics.fabric.partition_seconds:.0f}s",
+                metrics.fabric.deferred_placements,
                 guard.trips if guard else "-",
                 guard.invalid_decisions if guard else "-",
             ]
@@ -200,7 +210,8 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     print(
         ascii_table(
             ["scenario", "scheduled", "killed", "availability", "MTTR",
-             "restart lat", "SLO(5m)", "trips", "invalid"],
+             "restart lat", "SLO(5m)", "partition", "deferred",
+             "trips", "invalid"],
             rows,
             title=f"Resilience matrix — {args.policy}"
                   f" ({'guarded' if not args.no_guard else 'unguarded'})",
@@ -501,7 +512,9 @@ def build_parser() -> argparse.ArgumentParser:
     resilience.add_argument("--policy", choices=POLICIES, default="cbs")
     resilience.add_argument("--predictor", default="ewma")
     resilience.add_argument(
-        "--scenario", choices=RESILIENCE_SCENARIOS + ("all",), default="all"
+        "--scenario", default="all",
+        help="fault scenario name, or 'all' for the full matrix "
+             "(validated in cmd_resilience so the hint can list names)",
     )
     resilience.add_argument(
         "--no-guard", action="store_true",
@@ -530,7 +543,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "suite",
-        choices=("scalability", "ablation", "robustness", "trace_corruption", "all"),
+        choices=(
+            "scalability",
+            "ablation",
+            "robustness",
+            "network_faults",
+            "trace_corruption",
+            "all",
+        ),
         help="which scenario suite to run",
     )
     bench.add_argument(

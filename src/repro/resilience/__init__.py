@@ -8,6 +8,11 @@ package supplies both sides of that claim for the reproduction:
   :class:`FaultInjector` API driving correlated domain outages, straggler
   degradation, monitoring blackouts and Poisson machine crashes through
   the simulator's event queue;
+- :mod:`repro.resilience.fabric` -- the deterministic fabric topology
+  model (machine-type cells joined by links) behind the network fault
+  kinds: correlated link degradation, partial partitions and flapping
+  links, plus the :class:`FabricView` staleness block that makes the
+  control plane partition-tolerant;
 - :mod:`repro.resilience.guard` -- :class:`GuardedController`, a policy
   wrapper that validates and clamps every decision, falls back to the
   last-known-good plan on solver failure, and trips a forecast-residual
@@ -20,6 +25,17 @@ package supplies both sides of that claim for the reproduction:
 See ``docs/resilience.md`` for the fault model and guardrail thresholds.
 """
 
+from repro.resilience.fabric import (
+    FABRIC_FAULT_TYPES,
+    FabricState,
+    FabricTopology,
+    FabricView,
+    FlappingLink,
+    LinkDegradation,
+    PartialPartition,
+    link_key,
+    link_label,
+)
 from repro.resilience.faults import (
     CorrelatedOutage,
     FaultInjector,
@@ -53,6 +69,15 @@ __all__ = [
     "MachineDegradation",
     "MonitoringBlackout",
     "RandomMachineFailures",
+    "FABRIC_FAULT_TYPES",
+    "FabricState",
+    "FabricTopology",
+    "FabricView",
+    "FlappingLink",
+    "LinkDegradation",
+    "PartialPartition",
+    "link_key",
+    "link_label",
     "GuardConfig",
     "GuardedController",
     "GuardStats",

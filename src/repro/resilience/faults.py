@@ -16,7 +16,14 @@ ticks.  Fault kinds:
   cluster is not);
 - :class:`RandomMachineFailures` -- independent Poisson crashes per
   powered machine-hour (the legacy ``failure_rate_per_machine_hour``
-  behaviour, now one composable spec among the others).
+  behaviour, now one composable spec among the others);
+- the fabric specs from :mod:`repro.resilience.fabric` --
+  :class:`~repro.resilience.fabric.LinkDegradation` (correlated link
+  brownout stretching cross-cell service times),
+  :class:`~repro.resilience.fabric.PartialPartition` (a cut severing cell
+  pairs) and :class:`~repro.resilience.fabric.FlappingLink` (one link
+  oscillating down/up) -- mutating a
+  :class:`~repro.resilience.fabric.FabricState` the simulator reacts to.
 
 The injector decides *what* fails and *when*; the mechanics of killing
 tasks, releasing quota stocks and rescheduling finishes stay inside
@@ -29,10 +36,20 @@ injector calls.  This module intentionally imports nothing from
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from bisect import bisect_right
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Union
 
 import numpy as np
+
+from repro.resilience.fabric import (
+    FABRIC_FAULT_TYPES,
+    FabricState,
+    FabricTopology,
+    FlappingLink,
+    LinkDegradation,
+    PartialPartition,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simulation.cluster import ClusterSimulator
@@ -134,7 +151,13 @@ class RandomMachineFailures:
 
 
 FaultSpec = Union[
-    CorrelatedOutage, MachineDegradation, MonitoringBlackout, RandomMachineFailures
+    CorrelatedOutage,
+    MachineDegradation,
+    MonitoringBlackout,
+    RandomMachineFailures,
+    LinkDegradation,
+    PartialPartition,
+    FlappingLink,
 ]
 
 
@@ -145,6 +168,10 @@ class FaultPlan:
     faults: tuple[FaultSpec, ...] = ()
     #: Seeds the injector's RNG (Poisson sampling, straggler selection).
     seed: int = 0
+    #: Fabric graph the plan's fabric faults play out on.  ``None`` (the
+    #: default) derives a full mesh over the simulated fleet's platform
+    #: ids with the smallest id as the ingest cell.
+    topology: FabricTopology | None = None
 
     def with_fault(self, fault: FaultSpec) -> "FaultPlan":
         """A new plan with ``fault`` appended."""
@@ -174,6 +201,25 @@ class _DegradationEnd:
     fault: MachineDegradation
 
 
+@dataclass(frozen=True)
+class _LinksDegrade:
+    """Internal event payload: start/end one link-degradation window."""
+
+    links: tuple[tuple[int, int], ...]
+    stretch: float
+    start: bool
+
+
+@dataclass(frozen=True)
+class _LinksSever:
+    """Internal event payload: cut or heal a set of links."""
+
+    links: tuple[tuple[int, int], ...]
+    heal: bool
+    #: "partition" or "flap" — which stats counter the sever feeds.
+    kind: str = "partition"
+
+
 @dataclass
 class FaultStats:
     """What the injector actually did during one run."""
@@ -182,6 +228,9 @@ class FaultStats:
     outages: int = 0
     machines_degraded: int = 0
     blackout_ticks: int = 0
+    links_degraded: int = 0
+    links_severed: int = 0
+    link_flaps: int = 0
 
 
 class FaultInjector:
@@ -202,8 +251,14 @@ class FaultInjector:
         self._sim: "ClusterSimulator | None" = None
         #: Resolved blackout windows [start, end), filled at attach time.
         self._blackouts: list[tuple[float, float]] = []
+        #: Sorted window starts + running max of window ends, so
+        #: :meth:`in_blackout` answers in O(log B) instead of scanning.
+        self._blackout_starts: list[float] = []
+        self._blackout_max_end: list[float] = []
         #: Machine ids currently degraded (for timeline sampling).
         self._degraded_ids: set[int] = set()
+        #: Fabric link state, built at attach when the plan has fabric faults.
+        self.fabric: FabricState | None = None
 
     # ------------------------------------------------------------ lifecycle
 
@@ -213,6 +268,12 @@ class FaultInjector:
             raise RuntimeError("FaultInjector is already attached to a simulator")
         self._sim = simulator
         interval = simulator.config.control_interval
+        if any(isinstance(f, FABRIC_FAULT_TYPES) for f in self.plan.faults):
+            topology = self.plan.topology or FabricTopology.full_mesh(
+                simulator.fabric_cells()
+            )
+            self.fabric = FabricState(topology)
+            simulator.attach_fabric(self.fabric)
         for fault in self.plan.faults:
             if isinstance(fault, (CorrelatedOutage, MachineDegradation)):
                 simulator.schedule_fault(fault.time, fault)
@@ -228,8 +289,61 @@ class FaultInjector:
                 if fault.rate_per_machine_hour > 0:
                     # First sweep fires one interval in; it re-chains itself.
                     simulator.schedule_fault(interval, fault)
+            elif isinstance(fault, FABRIC_FAULT_TYPES):
+                self._attach_fabric_fault(fault)
             else:  # pragma: no cover - exhaustive over FaultSpec
                 raise TypeError(f"unknown fault spec {fault!r}")
+        # Windows sorted by start with a running max of ends answer the
+        # per-tick in_blackout query by bisection, overlap included.
+        self._blackouts.sort()
+        self._blackout_starts = [start for start, _ in self._blackouts]
+        running_end = float("-inf")
+        for _, end in self._blackouts:
+            running_end = max(running_end, end)
+            self._blackout_max_end.append(running_end)
+
+    def _attach_fabric_fault(
+        self, fault: "LinkDegradation | PartialPartition | FlappingLink"
+    ) -> None:
+        """Validate one fabric spec against the topology and schedule it."""
+        assert self._sim is not None and self.fabric is not None
+        topology = self.fabric.topology
+        if isinstance(fault, LinkDegradation):
+            links = topology.links if fault.links is None else fault.links
+            for pair in links:
+                if not topology.has_link(pair):
+                    raise ValueError(f"fault names unknown link {pair}")
+            self._sim.schedule_fault(
+                fault.time, _LinksDegrade(links, fault.stretch, start=True)
+            )
+            self._sim.schedule_fault(
+                fault.time + fault.duration,
+                _LinksDegrade(links, fault.stretch, start=False),
+            )
+        elif isinstance(fault, PartialPartition):
+            for pair in fault.cut:
+                if not topology.has_link(pair):
+                    raise ValueError(f"fault names unknown link {pair}")
+            self._sim.schedule_fault(
+                fault.time, _LinksSever(fault.cut, heal=False, kind="partition")
+            )
+            self._sim.schedule_fault(
+                fault.time + fault.duration,
+                _LinksSever(fault.cut, heal=True, kind="partition"),
+            )
+        else:
+            if not topology.has_link(fault.link):
+                raise ValueError(f"fault names unknown link {fault.link}")
+            links = (fault.link,)
+            for flap in range(fault.flaps):
+                down = fault.time + flap * fault.period
+                self._sim.schedule_fault(
+                    down, _LinksSever(links, heal=False, kind="flap")
+                )
+                self._sim.schedule_fault(
+                    down + fault.down_seconds,
+                    _LinksSever(links, heal=True, kind="flap"),
+                )
 
     # ------------------------------------------------------------- dispatch
 
@@ -243,13 +357,18 @@ class FaultInjector:
             self._end_degradation(payload.fault, now)
         elif isinstance(payload, RandomMachineFailures):
             self._fire_poisson_sweep(payload, now)
+        elif isinstance(payload, _LinksDegrade):
+            self._fire_links_degrade(payload, now)
+        elif isinstance(payload, _LinksSever):
+            self._fire_links_sever(payload, now)
         else:  # pragma: no cover - payloads are scheduled by attach()
             raise TypeError(f"unknown fault payload {payload!r}")
 
     # -------------------------------------------------------------- queries
 
     def in_blackout(self, now: float) -> bool:
-        return any(start <= now < end for start, end in self._blackouts)
+        index = bisect_right(self._blackout_starts, now)
+        return index > 0 and now < self._blackout_max_end[index - 1]
 
     def mask_arrivals(self, now: float, arrivals: dict[int, float]) -> dict[int, float]:
         """Arrival counts as the (possibly dark) monitoring pipe reports them."""
@@ -333,3 +452,25 @@ class FaultInjector:
         next_sweep = now + sim.config.control_interval
         if next_sweep < sim.horizon:
             sim.schedule_fault(next_sweep, fault)
+
+    def _fire_links_degrade(self, payload: _LinksDegrade, now: float) -> None:
+        assert self._sim is not None and self.fabric is not None
+        for pair in payload.links:
+            if payload.start:
+                self.fabric.degrade(pair, payload.stretch)
+                self.stats.links_degraded += 1
+            else:
+                self.fabric.restore(pair, payload.stretch)
+        self._sim.on_fabric_changed(now)
+
+    def _fire_links_sever(self, payload: _LinksSever, now: float) -> None:
+        assert self._sim is not None and self.fabric is not None
+        for pair in payload.links:
+            if payload.heal:
+                self.fabric.heal(pair)
+            else:
+                self.fabric.sever(pair)
+                self.stats.links_severed += 1
+                if payload.kind == "flap":
+                    self.stats.link_flaps += 1
+        self._sim.on_fabric_changed(now)

@@ -119,6 +119,9 @@ class GuardStats:
     trips: int = 0
     recoveries: int = 0
     reactive_ticks: int = 0
+    #: Ticks during which a fabric partition held at least one cell's
+    #: target at its last-known-good value.
+    partition_held_ticks: int = 0
 
 
 class GuardedController:
@@ -332,4 +335,19 @@ class GuardedController:
             active[pid] = bounded
         if clamped:
             self.stats.clamped_decisions += 1
+
+        # Partition tolerance: a cell the fabric has cut off reports only
+        # stale telemetry, so steering it on this tick's decision would be
+        # steering on fiction.  Hold each unreachable cell at its
+        # last-known-good target (mirroring the degradation ladder's
+        # per-cell hold) until the partition heals.
+        fabric = getattr(view, "fabric", None)
+        if fabric is not None and fabric.unreachable:
+            held_source = (
+                self._last_good.active if self._last_good is not None else view.powered
+            )
+            for cell in fabric.unreachable:
+                if cell in active:
+                    active[cell] = int(held_source.get(cell, active[cell]))
+            self.stats.partition_held_ticks += 1
         return replace(decision, time=view.time, active=active)

@@ -17,6 +17,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ScenarioFailed
+from repro.resilience.fabric import FlappingLink, LinkDegradation, PartialPartition
 from repro.resilience.faults import (
     CorrelatedOutage,
     FaultPlan,
@@ -26,8 +27,22 @@ from repro.resilience.faults import (
 )
 from repro.runner.scenario import Scenario, get_task, register_task
 
-#: The canonical scenario matrix, in reporting order.
-SCENARIOS = ("clean", "outage", "stragglers", "blackout", "poisson")
+#: The canonical scenario matrix, in reporting order.  The fabric
+#: scenarios (link_degradation, partial_partition, link_flapping) express
+#: their link cuts in terms of the default Table II fleet's platform ids
+#: (1-4, ingest cell 1); with a custom fleet, compose a
+#: :class:`~repro.resilience.faults.FaultPlan` with an explicit
+#: :class:`~repro.resilience.fabric.FabricTopology` instead.
+SCENARIOS = (
+    "clean",
+    "outage",
+    "stragglers",
+    "blackout",
+    "poisson",
+    "link_degradation",
+    "partial_partition",
+    "link_flapping",
+)
 
 
 def build_scenario_plan(
@@ -56,6 +71,36 @@ def build_scenario_plan(
         return plan.with_fault(MonitoringBlackout(time=horizon / 3, intervals=3))
     if scenario == "poisson":
         return plan.with_fault(RandomMachineFailures(rate_per_machine_hour=0.05))
+    if scenario == "link_degradation":
+        # Fabric-wide brownout: every link carries halved throughput for a
+        # third of the run — cross-cell work stretches, nothing partitions.
+        return plan.with_fault(
+            LinkDegradation(
+                time=horizon / 4,
+                duration=horizon / 3,
+                links=None,
+                throughput_factor=0.5,
+                latency_factor=1.5,
+            )
+        )
+    if scenario == "partial_partition":
+        # Cut every link into cell 4 (the largest machines): the cell is
+        # unreachable from ingest for a quarter of the run, then heals.
+        return plan.with_fault(
+            PartialPartition(
+                time=horizon / 3,
+                duration=horizon / 4,
+                cut=((1, 4), (2, 4), (3, 4)),
+            )
+        )
+    if scenario == "link_flapping":
+        # One inter-cell link oscillating down/up; the mesh keeps every
+        # cell reachable, so this stresses hysteresis, not placement.
+        return plan.with_fault(
+            FlappingLink(
+                time=horizon / 4, link=(1, 2), flaps=3, period=max(horizon / 12, 2.0)
+            )
+        )
     raise ValueError(f"unknown scenario {scenario!r}; expected one of {SCENARIOS}")
 
 

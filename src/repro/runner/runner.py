@@ -208,6 +208,28 @@ class ScenarioRunner:
         return serial, parallel
 
 
+def _scenario_entry(result: ScenarioResult) -> dict:
+    """One scenario's row in the baseline payload.
+
+    Simulation scenarios additionally surface their fabric metrics block
+    (``summary["resilience"]["fabric"]``) so network-fault baselines show
+    partition exposure, not just a digest.
+    """
+    entry = {
+        "name": result.name,
+        "task": result.scenario.task,
+        "wall_s": round(result.wall_seconds, 4),
+        "phases": {k: round(v, 4) for k, v in sorted(result.phases.items())},
+        "summary_digest": result.digest(),
+    }
+    resilience = result.summary.get("resilience")
+    if isinstance(resilience, dict):
+        fabric = resilience.get("fabric")
+        if isinstance(fabric, dict):
+            entry["fabric"] = fabric
+    return entry
+
+
 def baseline_payload(
     report: RunnerReport, compare_serial: RunnerReport | None = None
 ) -> dict:
@@ -221,16 +243,7 @@ def baseline_payload(
         "total_wall_s": round(report.total_wall_seconds, 4),
         "sum_scenario_wall_s": round(report.serial_seconds, 4),
         "tasks_per_second": round(report.tasks_per_second(), 2),
-        "scenarios": [
-            {
-                "name": r.name,
-                "task": r.scenario.task,
-                "wall_s": round(r.wall_seconds, 4),
-                "phases": {k: round(v, 4) for k, v in sorted(r.phases.items())},
-                "summary_digest": r.digest(),
-            }
-            for r in report.results
-        ],
+        "scenarios": [_scenario_entry(r) for r in report.results],
         "quarantined": [
             {"name": f.name, "kind": f.kind, "attempts": f.attempts}
             for f in report.quarantined

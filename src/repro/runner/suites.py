@@ -202,6 +202,46 @@ def robustness_scenarios(
     ]
 
 
+#: Fabric fault scenarios the network_faults suite replays — the clean
+#: baseline plus every fabric fault kind from
+#: :mod:`repro.resilience.fabric`, in escalating severity order.
+NETWORK_FAULT_SCENARIOS = (
+    "clean",
+    "link_degradation",
+    "link_flapping",
+    "partial_partition",
+)
+
+
+def network_faults_scenarios(
+    defaults: BenchDefaults | None = None,
+    scenarios: tuple[str, ...] = NETWORK_FAULT_SCENARIOS,
+) -> list[Scenario]:
+    """Guarded CBS under the fabric fault scenarios, 2 h window.
+
+    Same shape as :func:`robustness_scenarios` but over the network fault
+    universe: correlated link degradation, flapping links and a partial
+    partition severing cell 4 from the ingest cell.
+    """
+    trace = _bench_trace_params(defaults)
+    return [
+        Scenario(
+            name=f"net_{scenario}",
+            task="simulate",
+            params={
+                "trace": trace,
+                "policy": "cbs",
+                "predictor": "ewma",
+                "guard": True,
+                "fault_scenario": None if scenario == "clean" else scenario,
+                "fault_seed": 3,
+                "window_hours": 2.0,
+            },
+        )
+        for scenario in scenarios
+    ]
+
+
 #: Corruption fractions the dirty-trace suite replays; the first satisfies
 #: the ">= 10% corrupted records" acceptance bar, the second stresses it.
 TRACE_CORRUPTION_FRACTIONS = (0.1, 0.25)
@@ -243,5 +283,6 @@ SUITES = {
     "scalability": lambda defaults: scalability_scenarios(),
     "ablation": ablation_scenarios,
     "robustness": robustness_scenarios,
+    "network_faults": network_faults_scenarios,
     "trace_corruption": trace_corruption_scenarios,
 }

@@ -26,6 +26,7 @@ from repro.energy.accounting import EnergyMeter
 from repro.energy.models import MachineModel
 from repro.energy.prices import PriceSchedule, constant_price
 from repro.provisioning.controller import ProvisioningDecision
+from repro.resilience.fabric import FabricState, FabricView, link_label
 from repro.resilience.faults import FaultInjector, FaultPlan, RandomMachineFailures
 from repro.simulation.engine import EventKind, EventQueue
 from repro.simulation.machine import MachinePool, MachineState
@@ -56,6 +57,13 @@ class ClusterView:
     powered: dict[int, int]
     #: Observed arrival counts per class id in the finished interval.
     arrivals: dict[int, float]
+    #: Fabric snapshot (per-cell staleness stamps, unreachable cells,
+    #: degraded links) when the run has a fabric; ``None`` otherwise.
+    #: During a partition the per-cell fields above (``available``,
+    #: ``powered``, ``running_by_platform``) are frozen at last-known
+    #: values for unreachable cells — a scoped blackout the control plane
+    #: detects through :attr:`FabricView.last_heard`.
+    fabric: FabricView | None = None
 
 
 class Policy(Protocol):
@@ -177,6 +185,26 @@ class ClusterSimulator:
         #: Placement generation per task: invalidates stale finish events
         #: after a failure-driven restart.
         self._generation: dict[tuple[int, int], int] = {}
+        #: Fabric link state, attached by the injector when the plan has
+        #: fabric faults (None = no network fault universe this run).
+        self.fabric: FabricState | None = None
+        #: Per-cell fabric stretch currently applied to each pool.
+        self._pool_stretch: dict[int, float] = {
+            pool.platform_id: 1.0 for pool in self.pools
+        }
+        #: Cells currently unreachable from the trace-ingest cell.
+        self._unreachable: frozenset[int] = frozenset()
+        #: Cell id -> time of its last fresh telemetry report.
+        self._last_heard: dict[int, float] = {
+            pool.platform_id: 0.0 for pool in self.pools
+        }
+        #: Cell id -> last fresh (available, powered, running-by-class)
+        #: report, replayed for unreachable cells (the scoped blackout).
+        self._cell_report: dict[int, tuple[int, int, dict[int, int] | None]] = {
+            pool.platform_id: (pool.total, 0, None) for pool in self.pools
+        }
+        #: When the current partition started (None = not partitioned).
+        self._partition_since: float | None = None
         self.fault_injector = self._build_fault_injector()
 
     def _build_fault_injector(self) -> FaultInjector | None:
@@ -222,6 +250,13 @@ class ClusterSimulator:
                 self.fault_injector.fire(event.payload, self._queue.now)
             elif event.kind is EventKind.CONTROL_TICK:
                 self._on_tick(self._queue.now)
+        if self._partition_since is not None:
+            # A partition still open at the horizon ends with the run.
+            self.metrics.fabric.partition_seconds += (
+                self.horizon - self._partition_since
+            )
+            self._partition_since = None
+        self.metrics.fabric.deferred_placements = self.scheduler.fabric_deferrals
         return self.metrics
 
     # -------------------------------------------------------------- events
@@ -254,8 +289,9 @@ class ClusterSimulator:
         self.metrics.task_scheduled(task, now, class_id, machine.model.platform_id)
         generation = self._generation.get(task.uid, 0) + 1
         self._generation[task.uid] = generation
-        # Stragglers stretch the work: a degraded machine runs slower.
-        finish = now + task.duration * machine.slowdown
+        # Stragglers and degraded fabric paths stretch the work: a degraded
+        # machine (or cell) runs its tasks slower.
+        finish = now + task.duration * machine.effective_slowdown
         self._finish_time[task.uid] = finish
         self._queue.schedule(finish, EventKind.TASK_FINISH, (task, generation))
 
@@ -300,20 +336,29 @@ class ClusterSimulator:
         if self.fault_injector is not None:
             arrivals = self.fault_injector.mask_arrivals(now, arrivals)
 
+        available = {
+            pool.platform_id: pool.total
+            - sum(1 for m in pool.machines if m.failed_until > now)
+            for pool in self.pools
+        }
+        powered = {pool.platform_id: pool.powered for pool in self.pools}
+        running_by_platform = self.ledger.snapshot()
+        fabric_view = None
+        if self.fabric is not None:
+            fabric_view = self._fabric_view(
+                now, available, powered, running_by_platform
+            )
         view = ClusterView(
             time=now,
             backlog=self._backlog_by_class(),
             running=self._running_by_class(),
-            running_by_platform=self.ledger.snapshot(),
+            running_by_platform=running_by_platform,
             demand_cpu=self._demand_cpu,
             demand_memory=self._demand_memory,
-            available={
-                pool.platform_id: pool.total
-                - sum(1 for m in pool.machines if m.failed_until > now)
-                for pool in self.pools
-            },
-            powered={pool.platform_id: pool.powered for pool in self.pools},
+            available=available,
+            powered=powered,
             arrivals=dict(arrivals),
+            fabric=fabric_view,
         )
         self._interval_arrivals = {}
         decision = self.policy.decide(view)
@@ -338,6 +383,8 @@ class ClusterSimulator:
         best_machine = None
         best_victims: list[tuple[Task, int]] | None = None
         for pool in self.pools:
+            if pool.platform_id in self._unreachable:
+                continue  # no placements into partitioned cells
             model = pool.model
             if task.cpu > model.cpu_capacity or task.memory > model.memory_capacity:
                 continue
@@ -437,16 +484,119 @@ class ClusterSimulator:
         if old == slowdown:
             return
         machine.slowdown = slowdown
+        self._reissue_finishes(machine, slowdown / old, now)
+
+    def _reissue_finishes(self, machine, ratio: float, now: float) -> None:
+        """Stretch/compress remaining work of a machine's running tasks."""
         for uid, (task, _) in machine.running.items():
             finish = self._finish_time.get(uid)
             if finish is None:
                 continue
             remaining = max(finish - now, 0.0)
-            new_finish = now + remaining * (slowdown / old)
+            new_finish = now + remaining * ratio
             generation = self._generation.get(uid, 0) + 1
             self._generation[uid] = generation
             self._finish_time[uid] = new_finish
             self._queue.schedule(new_finish, EventKind.TASK_FINISH, (task, generation))
+
+    # ------------------------------------------------------- fabric hooks
+
+    def fabric_cells(self) -> tuple[int, ...]:
+        """The fleet's cells (platform ids, sorted) for topology derivation."""
+        return tuple(sorted(pool.platform_id for pool in self.pools))
+
+    def attach_fabric(self, fabric: FabricState) -> None:
+        """Bind the injector's fabric state (called from ``attach``)."""
+        if self.fabric is not None:
+            raise RuntimeError("a fabric is already attached to this simulator")
+        cells = set(fabric.topology.cells)
+        pools = set(self._pool_by_platform)
+        if cells != pools:
+            raise ValueError(
+                f"fabric cells {sorted(cells)} do not match the fleet's "
+                f"platform ids {sorted(pools)}"
+            )
+        self.fabric = fabric
+
+    def on_fabric_changed(self, now: float) -> None:
+        """React to a fabric mutation: stretches, reachability, accounting.
+
+        Per-cell service-time stretch is the best-surviving-path compound
+        stretch from the ingest cell (1.0 inside the ingest cell itself);
+        it applies pool-wide, re-issuing finish events exactly like
+        straggler rescaling.  An unreachable cell keeps its last applied
+        stretch frozen — work already running there continues locally —
+        while the scheduler stops placing new work into it.
+        """
+        assert self.fabric is not None
+        stretch_by_cell = self.fabric.cell_stretch()
+        for pool in self.pools:
+            stretch = stretch_by_cell.get(pool.platform_id)
+            if stretch is None:  # unreachable: freeze the last stretch
+                continue
+            current = self._pool_stretch[pool.platform_id]
+            if stretch != current:
+                self._pool_stretch[pool.platform_id] = stretch
+                for machine in pool.machines:
+                    machine.fabric_stretch = stretch
+                    self._reissue_finishes(machine, stretch / current, now)
+
+        unreachable = frozenset(self.fabric.unreachable_cells())
+        if unreachable == self._unreachable:
+            return
+        self._unreachable = unreachable
+        self.scheduler.set_unreachable(unreachable)
+        fabric_metrics = self.metrics.fabric
+        fabric_metrics.max_unreachable_cells = max(
+            fabric_metrics.max_unreachable_cells, len(unreachable)
+        )
+        if unreachable and self._partition_since is None:
+            self._partition_since = now
+        elif not unreachable and self._partition_since is not None:
+            fabric_metrics.partition_seconds += now - self._partition_since
+            self._partition_since = None
+
+    def _fabric_view(
+        self,
+        now: float,
+        available: dict[int, int],
+        powered: dict[int, int],
+        running_by_platform: dict[int, dict[int, int]],
+    ) -> FabricView:
+        """Per-tick fabric snapshot; masks unreachable cells' telemetry.
+
+        Reachable cells report fresh values and advance their staleness
+        stamp; unreachable cells replay their last fresh report (the
+        scoped-blackout semantics) so the policy sees a partitioned — not
+        merely shrunken — cluster.
+        """
+        assert self.fabric is not None
+        for pool in self.pools:
+            cell = pool.platform_id
+            if cell in self._unreachable:
+                stale_available, stale_powered, stale_running = self._cell_report[cell]
+                available[cell] = stale_available
+                powered[cell] = stale_powered
+                if stale_running is None:
+                    running_by_platform.pop(cell, None)
+                else:
+                    running_by_platform[cell] = dict(stale_running)
+            else:
+                self._last_heard[cell] = now
+                running = running_by_platform.get(cell)
+                self._cell_report[cell] = (
+                    available[cell],
+                    powered[cell],
+                    dict(running) if running is not None else None,
+                )
+        return FabricView(
+            unreachable=tuple(sorted(self._unreachable)),
+            last_heard=dict(sorted(self._last_heard.items())),
+            degraded_links=tuple(
+                link_label(pair) for pair in self.fabric.degraded_links()
+            ),
+            partitioned=bool(self._unreachable),
+        )
 
     def _relabel_running(self, now: float) -> None:
         """Section V's progressive relabeling: running tasks that outlive
@@ -554,6 +704,15 @@ class ClusterSimulator:
             else False
         )
         self.metrics.fault_sample(now, failed, self._total_machines, degraded, blackout)
+        if self.fabric is not None:
+            fabric_metrics = self.metrics.fabric
+            if self._unreachable:
+                fabric_metrics.partition_ticks += 1
+            for pair in self.fabric.degraded_links():
+                label = link_label(pair)
+                fabric_metrics.degraded_link_ticks[label] = (
+                    fabric_metrics.degraded_link_ticks.get(label, 0) + 1
+                )
         self.metrics.machine_timeline_by_type.append(
             (now, {pool.platform_id: pool.powered for pool in self.pools})
         )

@@ -20,6 +20,15 @@ Every tick's rung is recorded as ``(time, level, reason)`` — copied onto
 in ``summary()["resilience"]["degradation"]`` — so a run that quietly
 spent half its ticks on rung 1 is visible in every report.
 
+The ladder is also *partition-tolerant*, not just solver-tolerant: when
+the :class:`~repro.simulation.cluster.ClusterView` carries a fabric block
+with unreachable cells, degradation happens **per cell** instead of
+globally.  Healthy cells keep whatever rung the tick earned (usually the
+full MPC path); each partitioned cell falls to rung 2 behaviour — its
+machine target held at the last-known-good value — and on heal the cell is
+reconciled deterministically back to the fresh decision, with the
+|held - fresh| divergence recorded.
+
 This ladder complements (and sits *inside*) the
 :class:`~repro.resilience.guard.GuardedController`: the guard defends
 against bad decisions and bad forecasts from outside the policy; the
@@ -46,9 +55,23 @@ class DegradationLadder:
 
     def __init__(self, fallback: ThresholdAutoscaler) -> None:
         self.fallback = fallback
-        #: (time, level, reason) per control tick; reason is "" at level 0.
+        #: (time, level, reason) per control tick; reason is "" at level 0
+        #: with no fabric activity (partition holds and heals annotate it).
         self.timeline: list[tuple[float, int, str]] = []
+        #: Cell id -> ticks its target was partition-held at rung 2.
+        self.cell_hold_ticks: dict[int, int] = {}
+        #: (time, {cell: rung name}) per tick on fabric-enabled runs —
+        #: healthy cells show the tick's base rung, partitioned cells
+        #: "hold"; the per-cell record the global timeline cannot express.
+        self.cell_timeline: list[tuple[float, dict[int, str]]] = []
+        #: Cells reconciled back to fresh control after a heal.
+        self.reconciliations: int = 0
+        #: Total |held - fresh| target divergence across reconciliations.
+        self.reconciliation_divergence: int = 0
         self._last_good: ProvisioningDecision | None = None
+        #: Cell id -> last target decided while the cell was reachable.
+        self._held_targets: dict[int, int] = {}
+        self._partitioned_prev: frozenset[int] = frozenset()
 
     @staticmethod
     def _reason(exc: BaseException) -> str:
@@ -63,14 +86,21 @@ class DegradationLadder:
         """One tick: run ``primary``, stepping down the ladder on failure."""
         try:
             decision = primary()
+            level, reason = 0, ""
         except Exception as exc:  # noqa: BLE001 — any solver-path failure
-            decision = self._degraded(view, self._reason(exc))
-        else:
-            self.timeline.append((view.time, 0, ""))
+            decision, level, reason = self._degraded(view, self._reason(exc))
+        fabric = getattr(view, "fabric", None)
+        if fabric is not None:
+            decision, level, reason = self._partition_overlay(
+                view, decision, level, reason, fabric
+            )
+        self.timeline.append((view.time, level, reason))
         self._last_good = decision
         return decision
 
-    def _degraded(self, view: "ClusterView", reason: str) -> ProvisioningDecision:
+    def _degraded(
+        self, view: "ClusterView", reason: str
+    ) -> tuple[ProvisioningDecision, int, str]:
         try:
             decision = self.fallback.decide(
                 view.time,
@@ -80,12 +110,70 @@ class DegradationLadder:
                 available=view.available,
             )
         except Exception as exc:  # noqa: BLE001 — rung 1 failed too
-            self.timeline.append(
-                (view.time, 2, f"{reason}; then {self._reason(exc)}")
+            return self._hold(view), 2, f"{reason}; then {self._reason(exc)}"
+        return decision, 1, reason
+
+    def _partition_overlay(
+        self,
+        view: "ClusterView",
+        decision: ProvisioningDecision,
+        level: int,
+        reason: str,
+        fabric,
+    ) -> tuple[ProvisioningDecision, int, str]:
+        """Per-cell partition tolerance over this tick's base decision.
+
+        Unreachable cells get their machine target replaced by the
+        last-known-good value (rung 2 behaviour, scoped to the cell);
+        reachable cells keep the base decision untouched.  Cells that just
+        healed are reconciled: the fresh decision wins, and the divergence
+        the hold accumulated is recorded.  Deterministic by construction —
+        everything derives from the view and prior decisions.
+        """
+        base_level = level
+        unreachable = frozenset(fabric.unreachable)
+        healed = self._partitioned_prev - unreachable
+        if healed:
+            self.reconciliations += len(healed)
+            for cell in sorted(healed):
+                fresh = int(decision.active.get(cell, 0))
+                held = self._held_targets.get(cell, fresh)
+                self.reconciliation_divergence += abs(fresh - held)
+            note = f"heal: cells {sorted(healed)} reconciled"
+            reason = f"{reason}; {note}" if reason else note
+        self._partitioned_prev = unreachable
+        if unreachable:
+            active = dict(decision.active)
+            for cell in sorted(unreachable):
+                held = self._held_targets.get(cell)
+                if held is None:
+                    # Partitioned before any reachable decision: freeze
+                    # the cell at its (stale-view) powered count.
+                    held = int(view.powered.get(cell, 0))
+                    self._held_targets[cell] = held
+                active[cell] = held
+                self.cell_hold_ticks[cell] = self.cell_hold_ticks.get(cell, 0) + 1
+            decision = replace(decision, active=active)
+            note = f"partition_hold: cells {sorted(unreachable)}"
+            reason = f"{reason}; {note}" if reason else note
+            level = max(level, 2)
+        for cell in sorted(decision.active):
+            if cell not in unreachable:
+                self._held_targets[cell] = int(decision.active[cell])
+        self.cell_timeline.append(
+            (
+                view.time,
+                {
+                    cell: (
+                        "hold"
+                        if cell in unreachable
+                        else DEGRADATION_LEVELS[base_level]
+                    )
+                    for cell in sorted(view.available)
+                },
             )
-            return self._hold(view)
-        self.timeline.append((view.time, 1, reason))
-        return decision
+        )
+        return decision, level, reason
 
     def _hold(self, view: "ClusterView") -> ProvisioningDecision:
         """Rung 2: re-stamp the last-known-good plan, or keep current power."""

@@ -276,6 +276,7 @@ class SimulationResult:
                     "degraded_ticks": self.metrics.degraded_ticks(),
                     "levels": self.metrics.degradation_level_counts(),
                 },
+                "fabric": self.metrics.fabric.to_summary(),
                 "data_plane": self._data_plane_summary(),
             },
         }
@@ -536,6 +537,15 @@ class HarmonySimulation:
             decisions = decisions or inner.controller.decisions
             if inner.ladder is not None:
                 metrics.degradation_timeline.extend(inner.ladder.timeline)
+                fabric_metrics = metrics.fabric
+                for cell, ticks in sorted(inner.ladder.cell_hold_ticks.items()):
+                    fabric_metrics.cell_hold_ticks[str(cell)] = (
+                        fabric_metrics.cell_hold_ticks.get(str(cell), 0) + ticks
+                    )
+                fabric_metrics.reconciliations += inner.ladder.reconciliations
+                fabric_metrics.reconciliation_divergence += (
+                    inner.ladder.reconciliation_divergence
+                )
             forecast_fallback = _collect_forecast_fallback(inner.controller)
             for decision in decisions:
                 by_group: dict[PriorityGroup, int] = {g: 0 for g in PriorityGroup}

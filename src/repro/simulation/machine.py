@@ -40,10 +40,20 @@ class Machine:
     #: Straggler factor: tasks here take ``slowdown`` times their nominal
     #: duration (1.0 = healthy; set by degradation faults).
     slowdown: float = 1.0
+    #: Fabric factor: extra stretch from degraded links on the best path
+    #: between this machine's cell and the trace-ingest cell (1.0 =
+    #: healthy; set pool-wide by fabric faults, composed with
+    #: ``slowdown`` via :attr:`effective_slowdown`).
+    fabric_stretch: float = 1.0
     cpu_used: float = 0.0
     memory_used: float = 0.0
     #: task uid -> (task, class_id) for everything currently running here.
     running: dict[tuple[int, int], tuple[Task, int]] = field(default_factory=dict)
+
+    @property
+    def effective_slowdown(self) -> float:
+        """Total service-time multiplier: straggler x fabric stretch."""
+        return self.slowdown * self.fabric_stretch
 
     @property
     def cpu_free(self) -> float:

@@ -58,6 +58,46 @@ class TaskRestart:
     reschedule_time: float | None = None
 
 
+@dataclass
+class FabricMetrics:
+    """What the network fault layer did to one run.
+
+    All-zero (and the same shape) when no fabric faults were configured,
+    so ``summary()["resilience"]["fabric"]`` is always present and a no-op
+    fabric plan digests identically to a clean run.
+    """
+
+    #: Wall-clock simulated seconds during which any cell was unreachable.
+    partition_seconds: float = 0.0
+    #: Control ticks observed while partitioned.
+    partition_ticks: int = 0
+    #: Worst simultaneous unreachable-cell count.
+    max_unreachable_cells: int = 0
+    #: Placement attempts that failed after skipping an unreachable cell.
+    deferred_placements: int = 0
+    #: Link label ("a-b") -> control ticks the link spent severed/degraded.
+    degraded_link_ticks: dict[str, int] = field(default_factory=dict)
+    #: Cell id (as str) -> control ticks its targets were partition-held.
+    cell_hold_ticks: dict[str, int] = field(default_factory=dict)
+    #: Cells reconciled back to fresh control after a heal.
+    reconciliations: int = 0
+    #: Total |held target - fresh target| machines across reconciliations.
+    reconciliation_divergence: int = 0
+
+    def to_summary(self) -> dict:
+        """Deterministic JSON block for ``summary()["resilience"]["fabric"]``."""
+        return {
+            "partition_seconds": self.partition_seconds,
+            "partition_ticks": self.partition_ticks,
+            "max_unreachable_cells": self.max_unreachable_cells,
+            "deferred_placements": self.deferred_placements,
+            "degraded_link_ticks": dict(sorted(self.degraded_link_ticks.items())),
+            "cell_hold_ticks": dict(sorted(self.cell_hold_ticks.items())),
+            "reconciliations": self.reconciliations,
+            "reconciliation_divergence": self.reconciliation_divergence,
+        }
+
+
 @dataclass(frozen=True)
 class FaultSample:
     """Per-tick fleet health snapshot."""
@@ -93,6 +133,9 @@ class SimulationMetrics:
     #: 2 = hold; see :mod:`repro.simulation.degradation`) produced each
     #: decision.  Empty for non-MPC policies.
     degradation_timeline: list[tuple[float, int, str]] = field(default_factory=list)
+    #: Network fault layer accounting (always present; all-zero without
+    #: fabric faults) — see :class:`FabricMetrics`.
+    fabric: FabricMetrics = field(default_factory=FabricMetrics)
     #: machine_id -> open failure episode awaiting recovery.
     _open_failures: dict[int, MachineFailure] = field(default_factory=dict, repr=False)
     #: task uid -> open restart episode awaiting re-placement.

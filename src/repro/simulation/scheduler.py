@@ -85,6 +85,16 @@ class _BaseScheduler:
         # Prefer the smallest machine that can host a task: better packing
         # and it reserves big machines for big tasks.
         self.pools = sorted(pools, key=lambda p: (p.model.cpu_capacity, p.model.memory_capacity))
+        #: Cells (platform ids) currently unreachable from the trace-ingest
+        #: cell — no placements there while a partition holds.
+        self._unreachable: frozenset[int] = frozenset()
+        #: Placement attempts that failed after skipping an unreachable
+        #: cell (the partition may be why the task stayed pending).
+        self.fabric_deferrals = 0
+
+    def set_unreachable(self, cells: frozenset[int]) -> None:
+        """Update which cells the fabric has cut off from ingest."""
+        self._unreachable = frozenset(cells)
 
     def _pick_machine(self, task: Task, pool: MachinePool) -> Machine | None:
         raise NotImplementedError
@@ -103,7 +113,11 @@ class _BaseScheduler:
         dominating a failed demand in both dimensions cannot fit either, so
         its scan is skipped — capacity only shrinks within a round.
         """
+        skipped_unreachable = False
         for pool in self.pools:
+            if pool.platform_id in self._unreachable:
+                skipped_unreachable = True
+                continue
             if task.cpu > pool.model.cpu_capacity or task.memory > pool.model.memory_capacity:
                 continue
             if (
@@ -131,6 +145,8 @@ class _BaseScheduler:
                     if not (fc >= task.cpu and fm >= task.memory)
                 ]
                 entry.append((task.cpu, task.memory))
+        if skipped_unreachable:
+            self.fabric_deferrals += 1
         return None
 
     def schedule(
