@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_scalability.json against the committed baseline.
+
+CI's perf gate: after regenerating the scalability suite, this script
+fails the build when
+
+- a scenario's share of the suite's total wall time regressed by more
+  than ``--max-regression`` (default 25%) relative to the committed
+  baseline — shares, not absolute seconds, so the gate is stable across
+  runner hardware;
+- the paired replay scenarios (``replay_object`` / ``replay_columnar``)
+  disagree on their summary digest — the columnar determinism contract,
+  checked on every gate run;
+- the intra-run columnar speedup ``wall(replay_object) /
+  wall(replay_columnar)`` fell below ``--min-speedup`` (when given) —
+  the point of the columnar engine, measured within one run so hardware
+  cancels out;
+- a baseline scenario disappeared from the fresh run.
+
+It always prints the measured speedup so CI logs double as a perf
+history.  Pure comparison logic lives in :func:`compare_reports` for the
+unit tests (``tests/test_bench_regression.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Scenarios cheaper than this (seconds, in both runs) are exempt from the
+#: share check: their timings are dominated by constant overheads and one
+#: scheduler hiccup would flap the gate.
+MIN_GATED_WALL_S = 0.5
+
+REPLAY_OBJECT = "replay_object"
+REPLAY_COLUMNAR = "replay_columnar"
+
+
+def _scenario_walls(report: dict) -> dict[str, float]:
+    return {s["name"]: float(s["wall_s"]) for s in report.get("scenarios", [])}
+
+
+def _scenario_digests(report: dict) -> dict[str, str]:
+    return {s["name"]: s.get("summary_digest", "") for s in report.get("scenarios", [])}
+
+
+def measured_speedup(report: dict) -> float | None:
+    """Columnar speedup within one report, or None if the pair is absent."""
+    walls = _scenario_walls(report)
+    obj = walls.get(REPLAY_OBJECT)
+    col = walls.get(REPLAY_COLUMNAR)
+    if obj is None or col is None or col <= 0:
+        return None
+    return obj / col
+
+
+def compare_reports(
+    baseline: dict,
+    fresh: dict,
+    max_regression: float = 0.25,
+    min_speedup: float | None = None,
+) -> list[str]:
+    """All gate violations of ``fresh`` against ``baseline`` (empty = pass)."""
+    problems: list[str] = []
+    base_walls = _scenario_walls(baseline)
+    fresh_walls = _scenario_walls(fresh)
+
+    missing = sorted(set(base_walls) - set(fresh_walls))
+    if missing:
+        problems.append(f"scenarios missing from fresh run: {', '.join(missing)}")
+
+    common = sorted(set(base_walls) & set(fresh_walls))
+    base_total = sum(base_walls[name] for name in common)
+    fresh_total = sum(fresh_walls[name] for name in common)
+    if base_total > 0 and fresh_total > 0:
+        for name in common:
+            if base_walls[name] < MIN_GATED_WALL_S or fresh_walls[name] < MIN_GATED_WALL_S:
+                continue
+            base_share = base_walls[name] / base_total
+            fresh_share = fresh_walls[name] / fresh_total
+            if fresh_share > base_share * (1.0 + max_regression):
+                problems.append(
+                    f"{name}: wall-time share regressed "
+                    f"{base_share:.1%} -> {fresh_share:.1%} "
+                    f"(limit +{max_regression:.0%})"
+                )
+
+    digests = _scenario_digests(fresh)
+    obj_digest = digests.get(REPLAY_OBJECT)
+    col_digest = digests.get(REPLAY_COLUMNAR)
+    if obj_digest is not None and col_digest is not None and obj_digest != col_digest:
+        problems.append(
+            "replay engines diverged: replay_object and replay_columnar "
+            "summary digests differ (determinism contract broken)"
+        )
+
+    if min_speedup is not None:
+        speedup = measured_speedup(fresh)
+        if speedup is None:
+            problems.append(
+                "cannot measure columnar speedup: replay scenario pair "
+                "missing from fresh run"
+            )
+        elif speedup < min_speedup:
+            problems.append(
+                f"columnar speedup {speedup:.2f}x below floor {min_speedup:.2f}x"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("BENCH_scalability.json"),
+        help="committed perf baseline",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        required=True,
+        help="freshly generated BENCH_scalability.json to gate",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed per-scenario wall-share regression (fraction)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="required intra-run columnar speedup (off when omitted)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+
+    speedup = measured_speedup(fresh)
+    if speedup is not None:
+        print(f"columnar replay speedup (fresh run): {speedup:.2f}x")
+    baseline_speedup = measured_speedup(baseline)
+    if baseline_speedup is not None:
+        print(f"columnar replay speedup (baseline):  {baseline_speedup:.2f}x")
+
+    problems = compare_reports(
+        baseline,
+        fresh,
+        max_regression=args.max_regression,
+        min_speedup=args.min_speedup,
+    )
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,7 +53,7 @@ from repro.classification import ClassifierConfig, TaskClassifier
 from repro.resilience.scenarios import SCENARIOS as RESILIENCE_SCENARIOS
 from repro.resilience.scenarios import build_scenario_plan
 from repro.simulation import HarmonyConfig, HarmonySimulation, run_policy_comparison
-from repro.simulation.harmony import POLICIES, energy_savings
+from repro.simulation.harmony import ENGINES, POLICIES, energy_savings
 from repro.trace import (
     SyntheticTraceConfig,
     Trace,
@@ -135,7 +135,7 @@ def cmd_classify(args: argparse.Namespace) -> int:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     trace = _load_or_generate(args)
-    config = HarmonyConfig(policy=args.policy)
+    config = HarmonyConfig(policy=args.policy, engine=args.engine)
     result = HarmonySimulation(config, trace).run()
     print(json.dumps(result.summary(), indent=2))
     return 0
@@ -499,6 +499,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate = subparsers.add_parser("simulate", help="run one policy")
     _add_trace_args(simulate)
     simulate.add_argument("--policy", choices=POLICIES, default="cbs")
+    simulate.add_argument(
+        "--engine", choices=ENGINES, default="object",
+        help="replay engine: object (oracle) or columnar (vectorized)",
+    )
     simulate.set_defaults(fn=cmd_simulate)
 
     compare = subparsers.add_parser("compare", help="baseline vs CBP vs CBS")

@@ -20,6 +20,9 @@ from repro.runner.defaults import (
     bench_load,
     bench_machines,
     bench_repeats,
+    bench_replay_hours,
+    bench_replay_load,
+    bench_replay_machines,
     bench_seed,
     trace_config_from_params,
 )
@@ -49,6 +52,7 @@ from repro.runner.suites import (
     omega_scenarios,
     predictor_scenarios,
     preemption_scenarios,
+    replay_scenarios,
     robustness_scenarios,
     scalability_scenarios,
     slo_scenarios,
@@ -62,6 +66,9 @@ __all__ = [
     "bench_load",
     "bench_machines",
     "bench_repeats",
+    "bench_replay_hours",
+    "bench_replay_load",
+    "bench_replay_machines",
     "bench_seed",
     "trace_config_from_params",
     "RunnerReport",
@@ -90,6 +97,7 @@ __all__ = [
     "omega_scenarios",
     "predictor_scenarios",
     "preemption_scenarios",
+    "replay_scenarios",
     "robustness_scenarios",
     "scalability_scenarios",
     "slo_scenarios",

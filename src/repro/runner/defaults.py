@@ -39,6 +39,27 @@ def bench_repeats() -> int:
     return int(os.environ.get("REPRO_BENCH_REPEATS", 3))
 
 
+def bench_replay_hours() -> float:
+    """Replay-bench trace horizon in hours (``REPRO_BENCH_REPLAY_HOURS``)."""
+    return float(os.environ.get("REPRO_BENCH_REPLAY_HOURS", 4.0))
+
+
+def bench_replay_machines() -> int:
+    """Replay-bench fleet size (``REPRO_BENCH_REPLAY_MACHINES``).
+
+    Deliberately larger than :func:`bench_machines`: the engine-vs-engine
+    replay points exist to measure the columnar engine's speedup, which
+    only shows at production-ish backlog depths.  CI shrinks it through
+    the environment knob like every other bench parameter.
+    """
+    return int(os.environ.get("REPRO_BENCH_REPLAY_MACHINES", 4000))
+
+
+def bench_replay_load() -> float:
+    """Replay-bench trace load factor (``REPRO_BENCH_REPLAY_LOAD``)."""
+    return float(os.environ.get("REPRO_BENCH_REPLAY_LOAD", 0.85))
+
+
 @dataclass(frozen=True)
 class BenchDefaults:
     """One resolved snapshot of the bench parameter environment."""

@@ -211,7 +211,10 @@ class ScenarioRunner:
 def _scenario_entry(result: ScenarioResult) -> dict:
     """One scenario's row in the baseline payload.
 
-    Simulation scenarios additionally surface their fabric metrics block
+    Simulation scenarios additionally surface their task count (so the
+    suite-level ``tasks_per_second`` is auditable per scenario, and a
+    suite mixing solver scenarios with replay scenarios does not silently
+    report 0.0) and their fabric metrics block
     (``summary["resilience"]["fabric"]``) so network-fault baselines show
     partition exposure, not just a digest.
     """
@@ -222,6 +225,9 @@ def _scenario_entry(result: ScenarioResult) -> dict:
         "phases": {k: round(v, 4) for k, v in sorted(result.phases.items())},
         "summary_digest": result.digest(),
     }
+    tasks = result.summary.get("tasks_submitted")
+    if tasks is not None:
+        entry["tasks"] = int(tasks)
     resilience = result.summary.get("resilience")
     if isinstance(resilience, dict):
         fabric = resilience.get("fabric")

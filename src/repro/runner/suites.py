@@ -7,7 +7,15 @@ both build their scenario lists here, from the shared defaults in
 
 from __future__ import annotations
 
-from repro.runner.defaults import BenchDefaults, bench_defaults, bench_repeats
+from repro.runner.defaults import (
+    BenchDefaults,
+    bench_defaults,
+    bench_repeats,
+    bench_replay_hours,
+    bench_replay_load,
+    bench_replay_machines,
+    bench_seed,
+)
 from repro.runner.scenario import Scenario
 
 #: Problem sizes of the CBS-RELAX scalability sweep (classes, machine types).
@@ -43,6 +51,45 @@ def scalability_scenarios(
         )
         for num_classes, num_types in SCALABILITY_SIZES
         for seed in seeds
+    ] + replay_scenarios()
+
+
+#: Replay engines the scalability suite paces against each other.
+REPLAY_ENGINES = ("object", "columnar")
+
+
+def replay_trace_params() -> dict:
+    """Trace parameters of the engine-comparison replay scenarios.
+
+    A deep-backlog scenario (large fleet, high load) where the replay
+    loop, not the LP solver, dominates — the regime the columnar engine
+    exists for.  Separate ``REPRO_BENCH_REPLAY_*`` knobs so CI can shrink
+    it independently of the solver sweep.
+    """
+    return {
+        "hours": bench_replay_hours(),
+        "seed": bench_seed(),
+        "machines": bench_replay_machines(),
+        "load": bench_replay_load(),
+    }
+
+
+def replay_scenarios() -> list[Scenario]:
+    """The same threshold-policy replay once per engine.
+
+    Identical trace and policy parameters, so the two scenarios' summary
+    digests must match (the determinism contract, asserted by
+    ``scripts/check_bench_regression.py``) while their wall times measure
+    the columnar speedup.
+    """
+    trace = replay_trace_params()
+    return [
+        Scenario(
+            name=f"replay_{engine}",
+            task="simulate",
+            params={"trace": trace, "policy": "threshold", "engine": engine},
+        )
+        for engine in REPLAY_ENGINES
     ]
 
 

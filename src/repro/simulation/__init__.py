@@ -27,9 +27,18 @@ from repro.simulation.metrics import (
     TaskRestart,
 )
 from repro.simulation.cluster import ClusterSimulator, ClusterConfig
+from repro.simulation.columnar import (
+    ColumnarClusterSimulator,
+    ColumnarFirstFitScheduler,
+    TaskColumns,
+    capacity_room,
+    first_fit_index,
+    reissue_finish_times,
+)
 from repro.simulation.degradation import DEGRADATION_LEVELS, DegradationLadder
 from repro.simulation.timing import PhaseTimer
 from repro.simulation.harmony import (
+    ENGINES,
     HarmonyConfig,
     HarmonySimulation,
     SimulationResult,
@@ -53,6 +62,13 @@ __all__ = [
     "TaskRestart",
     "ClusterSimulator",
     "ClusterConfig",
+    "ColumnarClusterSimulator",
+    "ColumnarFirstFitScheduler",
+    "TaskColumns",
+    "capacity_room",
+    "first_fit_index",
+    "reissue_finish_times",
+    "ENGINES",
     "DEGRADATION_LEVELS",
     "DegradationLadder",
     "PhaseTimer",

@@ -227,6 +227,17 @@ class ClusterSimulator:
         """Replay the full trace; returns the collected metrics."""
         for task in self.tasks:
             self._queue.schedule(task.submit_time, EventKind.TASK_ARRIVAL, task)
+        self._push_control_ticks()
+
+        while self._queue:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > self.horizon:
+                break
+            self._dispatch(self._queue.pop())
+        return self._finish_run()
+
+    def _push_control_ticks(self) -> None:
+        """Queue every control tick up to (and closing at) the horizon."""
         tick = 0.0
         while tick < self.horizon:
             self._queue.schedule(tick, EventKind.CONTROL_TICK, None)
@@ -234,22 +245,22 @@ class ClusterSimulator:
         # A final tick at the horizon closes the last energy interval.
         self._queue.schedule(self.horizon, EventKind.CONTROL_TICK, None)
 
-        while self._queue:
-            next_time = self._queue.peek_time()
-            if next_time is None or next_time > self.horizon:
-                break
-            event = self._queue.pop()
-            if event.kind is EventKind.TASK_ARRIVAL:
-                self._on_arrival(event.payload)
-            elif event.kind is EventKind.TASK_FINISH:
-                self._on_finish(event.payload)
-            elif event.kind is EventKind.MACHINE_READY:
-                self._on_machine_ready(event.payload)
-            elif event.kind is EventKind.FAULT:
-                assert self.fault_injector is not None
-                self.fault_injector.fire(event.payload, self._queue.now)
-            elif event.kind is EventKind.CONTROL_TICK:
-                self._on_tick(self._queue.now)
+    def _dispatch(self, event) -> None:
+        """Route one popped event to its handler."""
+        if event.kind is EventKind.TASK_ARRIVAL:
+            self._on_arrival(event.payload)
+        elif event.kind is EventKind.TASK_FINISH:
+            self._on_finish(event.payload)
+        elif event.kind is EventKind.MACHINE_READY:
+            self._on_machine_ready(event.payload)
+        elif event.kind is EventKind.FAULT:
+            assert self.fault_injector is not None
+            self.fault_injector.fire(event.payload, self._queue.now)
+        elif event.kind is EventKind.CONTROL_TICK:
+            self._on_tick(self._queue.now)
+
+    def _finish_run(self) -> SimulationMetrics:
+        """Close per-run accounting once the event loop drains."""
         if self._partition_since is not None:
             # A partition still open at the horizon ends with the run.
             self.metrics.fabric.partition_seconds += (
@@ -647,13 +658,21 @@ class ClusterSimulator:
                     now + machine.model.boot_seconds, EventKind.MACHINE_READY, machine
                 )
 
+    def _sort_pending(self) -> None:
+        """Priority-order the pending queue if appends dirtied it.
+
+        Highest priority first; FIFO (stable by submit time) within a
+        priority level.  Shared by the object and columnar engines so both
+        walk an identically ordered queue.
+        """
+        if self._pending_dirty:
+            self._pending.sort(key=lambda t: (-t.priority, t.submit_time))
+            self._pending_dirty = False
+
     def _schedule_round(self, max_attempts: int) -> None:
         if not self._pending:
             return
-        if self._pending_dirty:
-            # Highest priority first; FIFO within priority.
-            self._pending.sort(key=lambda t: (-t.priority, t.submit_time))
-            self._pending_dirty = False
+        self._sort_pending()
         now = self._queue.now
         placements, leftover = self.scheduler.schedule(
             self._pending, self.ledger, self._task_class, max_attempts=max_attempts

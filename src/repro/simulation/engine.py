@@ -74,6 +74,31 @@ class EventQueue:
         """Timestamp of the next event, or None if empty."""
         return self._heap[0][0] if self._heap else None
 
+    def peek_key(self) -> tuple[float, int] | None:
+        """(time, kind) of the next event, or None if empty.
+
+        Lets an external ordered event source (the columnar engine's
+        arrival array) merge against the heap with the exact same
+        ``(time, kind)`` ordering the heap itself uses.
+        """
+        if not self._heap:
+            return None
+        time, kind, _, _ = self._heap[0]
+        return (time, kind)
+
+    def advance(self, time: float) -> None:
+        """Move the clock forward without popping an event.
+
+        Used when events are consumed from a source outside the heap (the
+        columnar arrival cursor); enforces the same monotonicity contract
+        as :meth:`push`.
+        """
+        if time < self._now - 1e-9:
+            raise ValueError(
+                f"cannot advance the clock to {time} before current time {self._now}"
+            )
+        self._now = time
+
     def __len__(self) -> int:
         return len(self._heap)
 

@@ -38,6 +38,10 @@ from repro.trace.schema import PriorityGroup, Task, Trace
 
 POLICIES = ("cbs", "cbp", "baseline", "threshold", "static")
 
+#: Replay engines: the per-task-object oracle and the vectorized columnar
+#: core (:mod:`repro.simulation.columnar`), contractually bit-identical.
+ENGINES = ("object", "columnar")
+
 
 @dataclass(frozen=True)
 class HarmonyConfig:
@@ -84,11 +88,16 @@ class HarmonyConfig:
     #: (decision validation, delta clamping, forecast circuit breaker).
     guard: bool = False
     guard_config: GuardConfig | None = None
+    #: Replay engine: "object" (per-task dispatch, the oracle) or
+    #: "columnar" (vectorized batches; bit-identical summaries).
+    engine: str = "object"
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
             raise ValueError(f"policy must be one of {POLICIES}, got {self.policy!r}")
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
         if self.classifier_sample < 100:
             raise ValueError(
                 f"classifier_sample must be >= 100, got {self.classifier_sample}"
@@ -503,7 +512,13 @@ class HarmonySimulation:
             policy = self.build_policy()
         with self.timer.phase("prepare"):
             tasks, class_of = self.prepare()
-        simulator = ClusterSimulator(
+        if self.config.engine == "columnar":
+            from repro.simulation.columnar import ColumnarClusterSimulator
+
+            simulator_cls = ColumnarClusterSimulator
+        else:
+            simulator_cls = ClusterSimulator
+        simulator = simulator_cls(
             tasks=tasks,
             horizon=self.trace.horizon,
             machine_models=self.config.fleet,

@@ -158,6 +158,20 @@ class MachinePool:
     def schedulable_machines(self) -> list[Machine]:
         return [m for m in self.machines if m.schedulable]
 
+    def capacity_columns(self) -> tuple[list[float], list[float], list[bool]]:
+        """Snapshot of (cpu_free, memory_free, schedulable) per machine.
+
+        The columnar engine mirrors these into numpy arrays; the machine
+        objects stay authoritative, so the free values are computed exactly
+        as the :class:`Machine` properties compute them.
+        """
+        cpu_capacity = self.model.cpu_capacity
+        memory_capacity = self.model.memory_capacity
+        cpu_free = [cpu_capacity - m.cpu_used for m in self.machines]
+        memory_free = [memory_capacity - m.memory_used for m in self.machines]
+        schedulable = [m.state is MachineState.ON for m in self.machines]
+        return cpu_free, memory_free, schedulable
+
     def utilization(self) -> tuple[float, float]:
         """Mean (cpu, memory) utilization over powered machines."""
         powered = [m for m in self.machines if m.state is not MachineState.OFF]

@@ -38,11 +38,31 @@ class QuotaLedger:
     def set_quotas(self, quotas: dict[int, dict[int, int]] | None) -> None:
         self._quotas = quotas
 
+    @property
+    def restricted(self) -> bool:
+        """Whether a quota table is active (admission can actually refuse)."""
+        return self._quotas is not None
+
     def admits(self, platform_id: int, class_id: int) -> bool:
         if self._quotas is None:
             return True
         limit = self._quotas.get(platform_id, {}).get(class_id, 0)
         return self._running.get((platform_id, class_id), 0) < limit
+
+    def admits_each(self, platform_id: int, class_ids) -> list[bool]:
+        """:meth:`admits` over many class ids without per-call overhead.
+
+        The columnar engine's round-start feasibility mask asks about every
+        distinct pending class against every pool; batching the lookups
+        keeps that out of the per-task hot path.
+        """
+        if self._quotas is None:
+            return [True] * len(class_ids)
+        limits = self._quotas.get(platform_id, {})
+        running = self._running
+        return [
+            running.get((platform_id, c), 0) < limits.get(c, 0) for c in class_ids
+        ]
 
     def place(self, platform_id: int, class_id: int) -> None:
         key = (platform_id, class_id)

@@ -14,6 +14,18 @@ from repro.energy import table2_fleet
 from repro.trace import SyntheticTraceConfig, Task, generate_trace
 
 
+@pytest.fixture(params=["object", "columnar"])
+def engine(request):
+    """Replay engine switch: parametrizes a test over both engines.
+
+    The object engine is the oracle; the columnar engine must be
+    outcome-identical (see ``tests/test_columnar_differential.py`` for
+    the digest-level contract).  Simulator-level tests taking this
+    fixture run their assertions against both.
+    """
+    return request.param
+
+
 @pytest.fixture(scope="session")
 def small_trace():
     """A 2-hour, ~200-machine trace: fast but statistically non-trivial."""

@@ -1,0 +1,130 @@
+"""Unit tests for the CI perf-gate comparator (scripts/check_bench_regression.py)."""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+from check_bench_regression import (  # noqa: E402
+    MIN_GATED_WALL_S,
+    compare_reports,
+    main,
+    measured_speedup,
+)
+
+
+def report(scenarios):
+    return {
+        "bench": "scalability",
+        "scenarios": [
+            {"name": name, "wall_s": wall, "summary_digest": digest}
+            for name, wall, digest in scenarios
+        ],
+    }
+
+
+BASELINE = report(
+    [
+        ("relax_c20_t4_s0", 2.0, "aaa"),
+        ("relax_c80_t4_s0", 4.0, "bbb"),
+        ("replay_object", 80.0, "ddd"),
+        ("replay_columnar", 8.0, "ddd"),
+    ]
+)
+
+
+class TestShares:
+    def test_identical_run_passes(self):
+        assert compare_reports(BASELINE, BASELINE) == []
+
+    def test_uniform_slowdown_passes(self):
+        # Twice as slow everywhere = slower hardware, not a regression.
+        slower = report(
+            [(s["name"], s["wall_s"] * 2, s["summary_digest"])
+             for s in BASELINE["scenarios"]]
+        )
+        assert compare_reports(BASELINE, slower) == []
+
+    def test_single_scenario_blowup_fails(self):
+        fresh = report(
+            [
+                ("relax_c20_t4_s0", 2.0, "aaa"),
+                ("relax_c80_t4_s0", 4.0, "bbb"),
+                ("replay_object", 80.0, "ddd"),
+                ("replay_columnar", 40.0, "ddd"),  # 5x slower than baseline
+            ]
+        )
+        problems = compare_reports(BASELINE, fresh)
+        assert len(problems) == 1
+        assert "replay_columnar" in problems[0]
+        assert "share regressed" in problems[0]
+
+    def test_tiny_scenarios_not_gated(self):
+        base = report([("tiny", MIN_GATED_WALL_S / 10, "x"), ("big", 50.0, "y")])
+        fresh = report([("tiny", MIN_GATED_WALL_S / 2, "x"), ("big", 50.0, "y")])
+        assert compare_reports(base, fresh) == []
+
+    def test_missing_scenario_fails(self):
+        fresh = report([("relax_c20_t4_s0", 2.0, "aaa")])
+        problems = compare_reports(BASELINE, fresh)
+        assert any("missing from fresh run" in p for p in problems)
+
+
+class TestReplayPair:
+    def test_speedup_measured(self):
+        assert measured_speedup(BASELINE) == 10.0
+
+    def test_speedup_none_without_pair(self):
+        assert measured_speedup(report([("relax_c20_t4_s0", 2.0, "aaa")])) is None
+
+    def test_digest_divergence_fails(self):
+        fresh = report(
+            [
+                ("replay_object", 80.0, "ddd"),
+                ("replay_columnar", 8.0, "EEE"),
+            ]
+        )
+        problems = compare_reports(fresh, fresh)
+        assert any("determinism contract" in p for p in problems)
+
+    def test_speedup_floor_enforced(self):
+        fresh = report(
+            [
+                ("replay_object", 16.0, "ddd"),
+                ("replay_columnar", 8.0, "ddd"),
+            ]
+        )
+        assert compare_reports(fresh, fresh, min_speedup=1.5) == []
+        problems = compare_reports(fresh, fresh, min_speedup=4.0)
+        assert any("below floor" in p for p in problems)
+
+    def test_speedup_floor_requires_pair(self):
+        fresh = report([("relax_c20_t4_s0", 2.0, "aaa")])
+        problems = compare_reports(fresh, fresh, min_speedup=2.0)
+        assert any("cannot measure" in p for p in problems)
+
+
+class TestCli:
+    def test_main_pass_and_fail(self, tmp_path, capsys):
+        base_path = tmp_path / "base.json"
+        fresh_path = tmp_path / "fresh.json"
+        base_path.write_text(json.dumps(BASELINE))
+        fresh_path.write_text(json.dumps(BASELINE))
+        assert (
+            main(["--baseline", str(base_path), "--fresh", str(fresh_path)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "10.00x" in out and "perf gate passed" in out
+
+        assert (
+            main(
+                [
+                    "--baseline", str(base_path),
+                    "--fresh", str(fresh_path),
+                    "--min-speedup", "50",
+                ]
+            )
+            == 1
+        )
+        assert "below floor" in capsys.readouterr().err

@@ -8,6 +8,7 @@ from repro.provisioning import ProvisioningDecision
 from repro.simulation import (
     ClusterConfig,
     ClusterSimulator,
+    ColumnarClusterSimulator,
     HarmonyConfig,
     HarmonySimulation,
     run_policy_comparison,
@@ -34,8 +35,15 @@ class NothingPolicy:
         return ProvisioningDecision(time=view.time, active={}, quotas=None)
 
 
-def run_simulator(tasks, fleet, policy, horizon=3600.0, **kwargs):
-    simulator = ClusterSimulator(
+#: Engine name -> simulator class (same constructor signature).
+SIMULATOR_CLASSES = {
+    "object": ClusterSimulator,
+    "columnar": ColumnarClusterSimulator,
+}
+
+
+def run_simulator(tasks, fleet, policy, horizon=3600.0, engine="object", **kwargs):
+    simulator = SIMULATOR_CLASSES[engine](
         tasks=tuple(sorted(tasks, key=lambda t: t.submit_time)),
         horizon=horizon,
         machine_models=fleet,
@@ -49,13 +57,22 @@ def run_simulator(tasks, fleet, policy, horizon=3600.0, **kwargs):
 
 
 class TestClusterSimulator:
+    """Simulator-level behaviour, asserted against both replay engines."""
+
+    @pytest.fixture(autouse=True)
+    def _engine(self, engine):
+        self.engine = engine
+
+    def run_sim(self, tasks, fleet, policy, **kwargs):
+        return run_simulator(tasks, fleet, policy, engine=self.engine, **kwargs)
+
     def test_tasks_complete_with_capacity(self):
         fleet = table2_fleet(0.02)
         tasks = [
             make_task(job_id=i, submit_time=10.0 * i, duration=100.0, cpu=0.05, memory=0.05)
             for i in range(20)
         ]
-        _, metrics = run_simulator(tasks, fleet, AllOnPolicy(fleet))
+        _, metrics = self.run_sim(tasks, fleet, AllOnPolicy(fleet))
         assert metrics.num_scheduled == 20
         assert metrics.num_finished == 20
         # All-on from t=0 means no boot delay after the first tick.
@@ -64,14 +81,14 @@ class TestClusterSimulator:
     def test_no_machines_nothing_scheduled(self):
         fleet = table2_fleet(0.02)
         tasks = [make_task(job_id=i, submit_time=1.0, duration=10.0) for i in range(5)]
-        _, metrics = run_simulator(tasks, fleet, NothingPolicy())
+        _, metrics = self.run_sim(tasks, fleet, NothingPolicy())
         assert metrics.num_scheduled == 0
         assert metrics.num_unscheduled == 5
 
     def test_boot_delay_gates_first_placements(self):
         fleet = table2_fleet(0.02)
         tasks = [make_task(job_id=1, submit_time=1.0, duration=50.0, cpu=0.05, memory=0.05)]
-        _, metrics = run_simulator(tasks, fleet, AllOnPolicy(fleet))
+        _, metrics = self.run_sim(tasks, fleet, AllOnPolicy(fleet))
         record = metrics.records[(1, 0)]
         # Machines are ordered at t=0 and boot in 90-150 s: the task placed
         # at the first MACHINE_READY, not at its arrival.
@@ -81,7 +98,7 @@ class TestClusterSimulator:
     def test_energy_accounted_per_interval(self):
         fleet = table2_fleet(0.02)
         tasks = [make_task(job_id=1, submit_time=1.0, duration=100.0)]
-        simulator, _ = run_simulator(tasks, fleet, AllOnPolicy(fleet), horizon=1800.0)
+        simulator, _ = self.run_sim(tasks, fleet, AllOnPolicy(fleet), horizon=1800.0)
         assert simulator.energy.total_kwh > 0
         times = {r.time for r in simulator.energy.records}
         assert len(times) >= 5  # one batch per elapsed interval
@@ -91,14 +108,14 @@ class TestClusterSimulator:
         tasks = [
             make_task(job_id=1, submit_time=1.0, duration=10_000.0, cpu=0.3, memory=0.2)
         ]
-        simulator, _ = run_simulator(tasks, fleet, AllOnPolicy(fleet))
+        simulator, _ = self.run_sim(tasks, fleet, AllOnPolicy(fleet))
         assert simulator._demand_cpu == pytest.approx(0.3)
         assert simulator._demand_memory == pytest.approx(0.2)
 
     def test_quota_stocks_released_on_finish(self):
         fleet = table2_fleet(0.02)
         tasks = [make_task(job_id=1, submit_time=1.0, duration=100.0, cpu=0.05, memory=0.05)]
-        simulator, metrics = run_simulator(tasks, fleet, AllOnPolicy(fleet))
+        simulator, metrics = self.run_sim(tasks, fleet, AllOnPolicy(fleet))
         assert metrics.num_finished == 1
         assert simulator.ledger.snapshot() == {}
 
@@ -111,7 +128,7 @@ class TestClusterSimulator:
                 allowed_platforms=frozenset({dl585_pid}),
             )
         ]
-        _, metrics = run_simulator(tasks, fleet, AllOnPolicy(fleet))
+        _, metrics = self.run_sim(tasks, fleet, AllOnPolicy(fleet))
         record = metrics.records[(1, 0)]
         assert record.platform_id == dl585_pid
 
@@ -122,7 +139,7 @@ class TestClusterSimulator:
         def relabel(t, elapsed):
             return 1 if elapsed > 500.0 else 0
 
-        simulator, metrics = run_simulator(
+        simulator, metrics = self.run_sim(
             [task], fleet, AllOnPolicy(fleet), horizon=1800.0, relabel=relabel
         )
         assert simulator.relabel_events == 1
@@ -133,7 +150,7 @@ class TestClusterSimulator:
 
     def test_machine_timeline_recorded_each_tick(self):
         fleet = table2_fleet(0.02)
-        _, metrics = run_simulator([], fleet, AllOnPolicy(fleet), horizon=1500.0)
+        _, metrics = self.run_sim([], fleet, AllOnPolicy(fleet), horizon=1500.0)
         times = [t for t, _, _ in metrics.machine_timeline]
         assert times == [0.0, 300.0, 600.0, 900.0, 1200.0, 1500.0]
 
@@ -147,6 +164,10 @@ class TestClusterSimulator:
 
 
 class TestFailureInjection:
+    @pytest.fixture(autouse=True)
+    def _engine(self, engine):
+        self.engine = engine
+
     def _run_with_failures(self, rate, duration=2000.0, num_tasks=30, horizon=7200.0):
         fleet = table2_fleet(0.02)
         tasks = [
@@ -154,7 +175,7 @@ class TestFailureInjection:
                       cpu=0.05, memory=0.05)
             for i in range(num_tasks)
         ]
-        simulator = ClusterSimulator(
+        simulator = SIMULATOR_CLASSES[self.engine](
             tasks=tuple(tasks),
             horizon=horizon,
             machine_models=fleet,

@@ -293,3 +293,75 @@ class TestPhaseTimer:
             assert result.phase_timings[phase] >= 0.0
         # Timings are observability, not behaviour: never in the summary.
         assert "phase_timings" not in result.summary()
+
+
+class TestThroughputAudit:
+    """Suite throughput must not silently divide to zero.
+
+    Regression: the committed scalability baseline reported
+    ``tasks_per_second: 0.0`` because relax_solve summaries carry no task
+    counts and the suite had no simulate scenarios.  The contract now is
+    (a) every simulate-task summary counts its submitted tasks, (b) the
+    baseline payload surfaces that count per scenario, and (c) a suite
+    containing at least one simulate scenario reports positive throughput.
+    """
+
+    @staticmethod
+    def _result(name, task, summary, wall=1.0):
+        return ScenarioResult(
+            scenario=Scenario(name=name, task=task, params={"seed": 0}),
+            summary=summary,
+            phases={},
+            wall_seconds=wall,
+        )
+
+    def test_simulate_task_counts_submitted_tasks(self):
+        outcome = get_task("simulate")(
+            {
+                "trace": {"hours": 0.25, "seed": 3, "machines": 60, "load": 0.4},
+                "policy": "threshold",
+                "engine": "columnar",
+            }
+        )
+        assert outcome["summary"]["tasks_submitted"] > 0
+
+    def test_mixed_suite_reports_positive_throughput(self):
+        report = RunnerReport(
+            suite="unit",
+            workers=1,
+            results=(
+                self._result("relax_c20_t4_s0", "relax_solve", {"objective": 1.0}),
+                self._result("replay_object", "simulate", {"tasks_submitted": 500}),
+            ),
+            total_wall_seconds=2.0,
+        )
+        assert report.tasks_per_second() == pytest.approx(250.0)
+        payload = baseline_payload(report)
+        assert payload["tasks_per_second"] > 0.0
+
+    def test_scenario_entry_surfaces_task_count(self):
+        payload = baseline_payload(
+            RunnerReport(
+                suite="unit",
+                workers=1,
+                results=(
+                    self._result("relax_c20_t4_s0", "relax_solve", {"objective": 1.0}),
+                    self._result("replay_object", "simulate", {"tasks_submitted": 500}),
+                ),
+                total_wall_seconds=2.0,
+            )
+        )
+        by_name = {entry["name"]: entry for entry in payload["scenarios"]}
+        assert by_name["replay_object"]["tasks"] == 500
+        assert "tasks" not in by_name["relax_c20_t4_s0"]
+
+    def test_replay_pair_in_scalability_suite(self):
+        from repro.runner import replay_scenarios
+
+        pair = replay_scenarios()
+        assert [s.name for s in pair] == ["replay_object", "replay_columnar"]
+        for scenario in pair:
+            assert scenario.task == "simulate"
+            assert scenario.params["trace"] == pair[0].params["trace"]
+        assert pair[0].params["engine"] == "object"
+        assert pair[1].params["engine"] == "columnar"
