@@ -42,7 +42,6 @@ from repro.runner import (  # noqa: E402
     ScenarioRunner,
     ScenarioSupervisor,
     SupervisorConfig,
-    journal_path,
 )
 
 
@@ -104,12 +103,23 @@ def bench_env() -> dict:
     return env
 
 
-def complete_journal_lines(path: Path) -> int:
-    """Journal entries durably on disk (ignores a torn trailing line)."""
-    if not path.exists():
+def find_journal(suite: str, directory: Path) -> Path | None:
+    """The suite's journal file (its name carries a run-id component)."""
+    candidates = sorted(directory.glob(f"JOURNAL_{suite}*.jsonl"))
+    return candidates[0] if candidates else None
+
+
+def complete_journal_lines(suite: str, directory: Path) -> int:
+    """Scenario entries durably on disk (ignores header + torn tail)."""
+    path = find_journal(suite, directory)
+    if path is None:
         return 0
     raw = path.read_text(encoding="utf-8", errors="replace")
-    return sum(1 for line in raw.split("\n")[:-1] if line.strip())
+    return sum(
+        1
+        for line in raw.split("\n")[:-1]
+        if line.strip() and '"kind":"header"' not in line
+    )
 
 
 def load_digests(bench_file: Path) -> dict[str, str]:
@@ -131,7 +141,6 @@ def phase_suite_kill_resume(
     log(f"reference: {len(reference)} scenarios")
 
     chaos_dir = tmp / "chaos"
-    journal = journal_path(suite, chaos_dir)
     log(f"chaos run: will SIGKILL after {kill_after} journaled scenario(s)")
     process = subprocess.Popen(
         bench_command(suite, workers, chaos_dir, resume=False),
@@ -140,7 +149,7 @@ def phase_suite_kill_resume(
     )
     deadline = time.monotonic() + timeout
     try:
-        while complete_journal_lines(journal) < kill_after:
+        while complete_journal_lines(suite, chaos_dir) < kill_after:
             if process.poll() is not None:
                 log("FAIL: chaos run finished before it could be killed; "
                     "lower --kill-after or enlarge the suite")
@@ -152,7 +161,7 @@ def phase_suite_kill_resume(
         os.killpg(process.pid, signal.SIGKILL)
     finally:
         process.wait()
-    journaled = complete_journal_lines(journal)
+    journaled = complete_journal_lines(suite, chaos_dir)
     log(f"killed mid-suite with {journaled}/{len(reference)} scenarios journaled")
     if (chaos_dir / f"BENCH_{suite}.json").exists():
         log("FAIL: killed run should not have written its BENCH file yet")

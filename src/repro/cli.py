@@ -38,7 +38,17 @@ bench
     and a digest-verified ``JOURNAL_<suite>.jsonl`` that ``--resume``
     replays so an interrupted suite finishes where it left off.  With
     ``--corrupt`` the dirty-trace ``trace_corruption`` suite is appended
-    to the run, exercising the data-plane hardening layer.
+    to the run, exercising the data-plane hardening layer.  With
+    ``--engine both`` every engine-aware scenario runs once per replay
+    engine and the paired summary digests must match exactly.
+serve
+    Run the crash-safe online provisioning daemon (:mod:`repro.serve`):
+    a live arrival stream (trace replay, ``--follow`` file tail or
+    ``--listen`` socket), tick-by-tick classification/forecasting/
+    provisioning with the degradation ladder, write-ahead tick journal,
+    periodic digest-verified checkpoints, watchdog-supervised control
+    steps, SIGHUP hot reload, ``/healthz`` ``/readyz`` ``/metrics`` and
+    ``--restore`` resume that is bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -249,6 +259,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         ScenarioSupervisor,
         SupervisorConfig,
         bench_defaults,
+        engine_pairs,
+        with_engine,
         write_baseline,
     )
 
@@ -299,6 +311,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     exit_code = 0
     for suite in suites:
         scenarios = SUITES[suite](defaults)
+        if args.engine is not None:
+            scenarios = with_engine(scenarios, args.engine)
         serial = None
         if supervised:
             supervisor = ScenarioSupervisor(
@@ -355,11 +369,139 @@ def cmd_bench(args: argparse.Namespace) -> int:
         )
         path = write_baseline(report, args.output, compare_serial=serial)
         print(f"wrote {path}")
+        if args.engine == "both":
+            digests = {r.name: r.digest() for r in report}
+            for obj_name, col_name in engine_pairs(scenarios):
+                if obj_name not in digests or col_name not in digests:
+                    continue  # one side quarantined; already exit 1 below
+                if digests[obj_name] != digests[col_name]:
+                    print(
+                        f"repro bench: engine digest mismatch for "
+                        f"{obj_name.removesuffix('__object')}: "
+                        f"object={digests[obj_name][:12]} "
+                        f"columnar={digests[col_name][:12]}",
+                        file=sys.stderr,
+                    )
+                    exit_code = 1
+                else:
+                    print(
+                        f"engines agree on "
+                        f"{obj_name.removesuffix('__object')}: "
+                        f"{digests[obj_name][:12]}"
+                    )
         if report.quarantined:
             names = ", ".join(f.name for f in report.quarantined)
             print(f"quarantined scenarios: {names}", file=sys.stderr)
             exit_code = 1
     return exit_code
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.energy.catalog import table2_fleet
+    from repro.errors import ConfigInvalid, ReproError
+    from repro.serve import (
+        CHAOS_PRESETS,
+        FileTailFeeder,
+        ReplayFeeder,
+        ServeChaos,
+        ServeConfig,
+        ServeDaemon,
+        SocketFeeder,
+        SystemClock,
+        derive_run_id,
+        load_config_file,
+    )
+
+    if args.chaos is not None and args.chaos not in CHAOS_PRESETS:
+        names = ", ".join(sorted(CHAOS_PRESETS))
+        print(
+            f"repro serve: unknown chaos preset {args.chaos!r} "
+            f"(hint: --chaos one of {names})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.follow is not None and args.listen is not None:
+        print(
+            "repro serve: --follow and --listen are mutually exclusive "
+            "(one arrival source per daemon)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.follow is not None and not args.follow.exists():
+        print(f"repro serve: --follow file {args.follow} does not exist",
+              file=sys.stderr)
+        return 2
+
+    try:
+        config = (
+            load_config_file(args.config) if args.config else ServeConfig()
+        )
+        overrides: dict = {}
+        if args.tick_seconds is not None:
+            overrides["tick_seconds"] = args.tick_seconds
+        if args.checkpoint_interval is not None:
+            overrides["checkpoint_interval_ticks"] = args.checkpoint_interval
+        if args.tick_delay is not None:
+            overrides["tick_delay_seconds"] = args.tick_delay
+        if overrides:
+            config = ServeConfig(**{**config.to_dict(), **overrides})
+    except (ConfigInvalid, OSError) as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+
+    clock = SystemClock()
+    if args.follow is not None:
+        feeder = FileTailFeeder(
+            args.follow, tick_seconds=config.tick_seconds, clock=clock
+        )
+        feeder_spec = {"kind": "follow", "path": str(args.follow.resolve())}
+    elif args.listen is not None:
+        feeder = SocketFeeder(port=args.listen, tick_seconds=config.tick_seconds)
+        feeder_spec = {"kind": "listen", "port": args.listen}
+        print(f"listening on {feeder.address[0]}:{feeder.address[1]}")
+    else:
+        trace = _load_or_generate(args)
+        feeder = ReplayFeeder(
+            trace.tasks, horizon=trace.horizon, tick_seconds=config.tick_seconds
+        )
+        feeder_spec = {
+            "kind": "replay",
+            "trace": str(args.trace) if args.trace else None,
+            "hours": args.hours,
+            "seed": args.seed,
+            "machines": args.machines,
+            "load": args.load,
+        }
+
+    run_id = derive_run_id(config, feeder_spec)
+    chaos = None
+    if args.chaos is not None:
+        plan, serve_faults = CHAOS_PRESETS[args.chaos](config.tick_seconds)
+        chaos = ServeChaos(
+            plan,
+            table2_fleet(config.fleet_scale),
+            config.tick_seconds,
+            serve_faults=serve_faults,
+        )
+
+    daemon = ServeDaemon(
+        config,
+        feeder,
+        state_dir=args.state_dir,
+        run_id=run_id,
+        chaos=chaos,
+        clock=clock,
+        http_port=args.http_port,
+        config_path=args.config,
+    )
+    daemon.install_signal_handlers()
+    try:
+        summary = daemon.run(restore_state=args.restore, max_ticks=args.ticks)
+    except ReproError as exc:
+        print(f"repro serve: [{exc.code}] {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -558,6 +700,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="which scenario suite to run",
     )
     bench.add_argument(
+        "--engine", choices=("object", "columnar", "both"), default=None,
+        help="pin engine-aware scenarios to one replay engine, or 'both' "
+             "to run each once per engine and assert bit-identical digests",
+    )
+    bench.add_argument(
         "--corrupt", action="store_true",
         help="also run the dirty-trace trace_corruption suite "
              "(corrupt -> sanitize -> simulate)",
@@ -599,6 +746,59 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--load", type=float, default=None,
                        help="override REPRO_BENCH_LOAD for this run")
     bench.set_defaults(fn=cmd_bench)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the crash-safe online provisioning daemon"
+    )
+    _add_trace_args(serve)
+    serve.add_argument(
+        "--state-dir", type=Path, required=True,
+        help="directory for the tick journal, checkpoint and event log",
+    )
+    serve.add_argument(
+        "--follow", type=Path, default=None, metavar="FILE",
+        help="tail a JSONL arrival file instead of replaying a trace",
+    )
+    serve.add_argument(
+        "--listen", type=int, default=None, metavar="PORT",
+        help="accept one TCP client speaking the arrival line protocol "
+             "(0 = auto-assign)",
+    )
+    serve.add_argument(
+        "--ticks", type=int, default=None,
+        help="stop after N applied ticks (default: run to stream end)",
+    )
+    serve.add_argument(
+        "--tick-seconds", type=float, default=None,
+        help="control-tick length in seconds (default 300; deterministic "
+             "— changing it changes the run id)",
+    )
+    serve.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="TICKS",
+        help="checkpoint every N applied ticks (default 8; hot-reloadable)",
+    )
+    serve.add_argument(
+        "--tick-delay", type=float, default=None, metavar="SECONDS",
+        help="sleep between replay ticks (pacing for drills; default 0)",
+    )
+    serve.add_argument(
+        "--http-port", type=int, default=None, metavar="PORT",
+        help="serve /healthz /readyz /metrics on this port (0 = auto)",
+    )
+    serve.add_argument(
+        "--chaos", default=None, metavar="PRESET",
+        help="inject a chaos preset into the live loop "
+             "(validated in cmd_serve so the hint can list names)",
+    )
+    serve.add_argument(
+        "--restore", action="store_true",
+        help="restore from the checkpoint + journal suffix in --state-dir",
+    )
+    serve.add_argument(
+        "--config", type=Path, default=None, metavar="PATH",
+        help="JSON config file; ops fields hot-reload on SIGHUP or edit",
+    )
+    serve.set_defaults(fn=cmd_serve)
 
     lint = subparsers.add_parser(
         "lint", help="run harmonylint (repro.statics) over the tree"

@@ -145,6 +145,37 @@ class TraceFieldCorrupt(TraceCorrupt, ValueError):
     code = "trace_field_corrupt"
 
 
+# ------------------------------------------------------------------- serve
+
+
+class ServeError(ReproError):
+    """The online control-plane daemon (``repro serve``) misbehaved."""
+
+    code = "serve_error"
+
+
+class ConfigInvalid(ServeError, ValueError):
+    """A serve config (startup or hot-reload candidate) failed validation.
+
+    Hot reload treats this as a rejection: the candidate is discarded and
+    the daemon keeps running on its previous config.  Also a
+    :class:`ValueError` so generic validation call sites keep working.
+    """
+
+    code = "config_invalid"
+
+
+class ControlStepFailed(ServeError):
+    """One control-step attempt raised and was absorbed by the watchdog.
+
+    Carries ``tick`` and ``attempt`` context; the watchdog retries with
+    deterministic backoff and, once attempts are exhausted, applies the
+    tick as a last-known-good hold instead of crashing the daemon.
+    """
+
+    code = "control_step_failed"
+
+
 # ---------------------------------------------------------------- capacity
 
 
@@ -189,6 +220,9 @@ __all__ = [
     "NonFiniteSummary",
     "JournalCorrupt",
     "TraceFieldCorrupt",
+    "ServeError",
+    "ConfigInvalid",
+    "ControlStepFailed",
     "CapacityModelError",
     "CapacityModelUnstable",
     "ContainerSizingError",

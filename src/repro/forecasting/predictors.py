@@ -84,6 +84,13 @@ class EwmaPredictor:
         level = self._level if self._level is not None else 0.0
         return np.full(steps, max(level, 0.0))
 
+    def to_state(self) -> dict:
+        """Serve-checkpoint encoding (level only; alpha is config)."""
+        return {"level": self._level}
+
+    def restore_state(self, state: dict) -> None:
+        self._level = None if state["level"] is None else float(state["level"])
+
 
 class HoltPredictor:
     """Holt's linear (double exponential) smoothing: level + trend."""
@@ -261,6 +268,42 @@ class FallbackChainPredictor:
         self.rung_counts[self.RUNGS[rung]] += 1
         if rung > 0:
             self.timeline.append((self._tick, rung, reason))
+
+    # ---------------------------------------------------- (de)serialization
+
+    def to_state(self) -> dict:
+        """Serve-checkpoint encoding of the whole chain.
+
+        Requires a primary that itself implements ``to_state`` /
+        ``restore_state`` (the serve daemon uses :class:`EwmaPredictor`);
+        a primary without the seam raises so the gap is loud, not silent.
+        """
+        to_state = getattr(self.primary, "to_state", None)
+        if to_state is None:
+            raise TypeError(
+                f"primary {type(self.primary).__name__} does not implement "
+                "to_state(); cannot checkpoint this chain"
+            )
+        return {
+            "primary": to_state(),
+            "seasonal": self._seasonal.to_state(),
+            "last": self._last,
+            "tick": self._tick,
+            "pending_reason": self._pending_reason,
+            "timeline": [list(entry) for entry in self.timeline],
+            "rung_counts": dict(self.rung_counts),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.primary.restore_state(state["primary"])
+        self._seasonal.restore_state(state["seasonal"])
+        self._last = float(state["last"])
+        self._tick = int(state["tick"])
+        self._pending_reason = state["pending_reason"]
+        self.timeline = [
+            (int(t), int(rung), str(reason)) for t, rung, reason in state["timeline"]
+        ]
+        self.rung_counts = {str(k): int(v) for k, v in state["rung_counts"].items()}
 
 
 def _usable(prediction: np.ndarray, steps: int) -> bool:

@@ -45,6 +45,16 @@ class SeasonalNaivePredictor:
         result = [season[(len(season) + k) % self.period] for k in range(steps)]
         return np.maximum(np.asarray(result, dtype=float), 0.0)
 
+    def to_state(self) -> dict:
+        """Serve-checkpoint encoding (history window + last value)."""
+        return {"history": list(self._history), "last": self._last}
+
+    def restore_state(self, state: dict) -> None:
+        self._history = deque(
+            (float(v) for v in state["history"]), maxlen=self.period
+        )
+        self._last = float(state["last"])
+
 
 class SeasonalEwmaPredictor:
     """Streaming multiplicative level x seasonal-index decomposition.

@@ -104,6 +104,17 @@ class ThresholdAutoscaler:
         self.decisions.append(decision)
         return decision
 
+    def to_state(self) -> dict:
+        """Behavior-relevant state for serve checkpoints.
+
+        Only the hysteresis target is behavioral; the ``decisions`` report
+        log is deliberately excluded (restored runs start it empty).
+        """
+        return {"target_total": self._target_total}
+
+    def restore_state(self, state: dict) -> None:
+        self._target_total = int(state["target_total"])
+
     def _allocate(
         self, total: int, available: dict[int, int] | None
     ) -> dict[int, int]:

@@ -99,6 +99,43 @@ class ProvisioningDecision:
     def total_active(self) -> int:
         return sum(self.active.values())
 
+    def to_state(self) -> dict:
+        """Canonical-JSON-safe encoding for serve checkpoints.
+
+        Int-keyed dicts are encoded as sorted ``[key, value]`` pair lists —
+        ``json.dumps`` would silently stringify the keys, and a restored
+        decision must compare equal to the original.
+        """
+        return {
+            "time": self.time,
+            "active": [[k, self.active[k]] for k in sorted(self.active)],
+            "quotas": None
+            if self.quotas is None
+            else [
+                [pid, [[c, q[c]] for c in sorted(q)]]
+                for pid, q in sorted(self.quotas.items())
+            ],
+            "demand": [[k, self.demand[k]] for k in sorted(self.demand)],
+            "dropped": [[k, self.dropped[k]] for k in sorted(self.dropped)],
+            "objective": self.objective,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ProvisioningDecision":
+        return cls(
+            time=float(state["time"]),
+            active={int(k): int(v) for k, v in state["active"]},
+            quotas=None
+            if state["quotas"] is None
+            else {
+                int(pid): {int(c): int(n) for c, n in q}
+                for pid, q in state["quotas"]
+            },
+            demand={int(k): float(v) for k, v in state["demand"]},
+            dropped={int(k): int(v) for k, v in state["dropped"]},
+            objective=float(state["objective"]),
+        )
+
 
 class HarmonyController:
     """The full heterogeneity-aware MPC controller (Algorithm 1)."""

@@ -241,6 +241,57 @@ class GuardedController:
                     )
                 )
 
+    # ---------------------------------------------------- (de)serialization
+
+    def to_state(self) -> dict:
+        """Behavior- and summary-relevant state for serve checkpoints.
+
+        The ``decisions`` report log is excluded (restored runs start it
+        empty); everything the breaker, fallback and summary read is kept,
+        including the structured failure log.
+        """
+        from dataclasses import asdict
+
+        return {
+            "stats": asdict(self.stats),
+            "tripped": self.tripped,
+            "failure_log": [
+                {"message": e.message, "context": dict(e.context)}
+                for e in self.failure_log
+            ],
+            "mode_timeline": [[t, mode] for t, mode in self.mode_timeline],
+            "last_good": None
+            if self._last_good is None
+            else self._last_good.to_state(),
+            "predicted_next": self._predicted_next,
+            "ewma_level": self._ewma_level,
+            "strikes": self._strikes,
+            "calm": self._calm,
+            "fallback": self.fallback.to_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.stats = GuardStats(**state["stats"])
+        self.tripped = bool(state["tripped"])
+        self.failure_log = [
+            SolverError(e["message"], **e["context"]) for e in state["failure_log"]
+        ]
+        self.mode_timeline = [(float(t), str(mode)) for t, mode in state["mode_timeline"]]
+        self._last_good = (
+            None
+            if state["last_good"] is None
+            else ProvisioningDecision.from_state(state["last_good"])
+        )
+        self._predicted_next = (
+            None if state["predicted_next"] is None else float(state["predicted_next"])
+        )
+        self._ewma_level = (
+            None if state["ewma_level"] is None else float(state["ewma_level"])
+        )
+        self._strikes = int(state["strikes"])
+        self._calm = int(state["calm"])
+        self.fallback.restore_state(state["fallback"])
+
     # ----------------------------------------------------- circuit breaker
 
     def _update_breaker(self, observed: float) -> None:

@@ -26,7 +26,14 @@ from repro.runner.defaults import (
     bench_seed,
     trace_config_from_params,
 )
-from repro.runner.journal import Journal, JournalEntry, journal_path
+from repro.runner.journal import (
+    Journal,
+    JournalEntry,
+    journal_path,
+    read_journal_records,
+    suite_run_id,
+    write_journal_record,
+)
 from repro.runner.runner import (
     RunnerReport,
     ScenarioFailure,
@@ -48,6 +55,7 @@ from repro.runner.suites import (
     SUITES,
     ablation_scenarios,
     consolidation_scenarios,
+    engine_pairs,
     horizon_scenarios,
     omega_scenarios,
     predictor_scenarios,
@@ -57,6 +65,7 @@ from repro.runner.suites import (
     scalability_scenarios,
     slo_scenarios,
     trace_corruption_scenarios,
+    with_engine,
 )
 
 __all__ = [
@@ -86,6 +95,9 @@ __all__ = [
     "Journal",
     "JournalEntry",
     "journal_path",
+    "read_journal_records",
+    "suite_run_id",
+    "write_journal_record",
     "Scenario",
     "get_task",
     "register_task",
@@ -93,6 +105,7 @@ __all__ = [
     "SUITES",
     "ablation_scenarios",
     "consolidation_scenarios",
+    "engine_pairs",
     "horizon_scenarios",
     "omega_scenarios",
     "predictor_scenarios",
@@ -102,4 +115,5 @@ __all__ = [
     "scalability_scenarios",
     "slo_scenarios",
     "trace_corruption_scenarios",
+    "with_engine",
 ]

@@ -1,17 +1,29 @@
-"""Crash-safe scenario journals: ``JOURNAL_<suite>.jsonl``.
+"""Crash-safe, digest-verified JSONL journals.
 
-Every completed scenario is appended as one line of canonical JSON whose
-``sha256`` field is the digest of the rest of the record — flushed and
-fsynced per line, so a SIGKILLed suite leaves at most one torn trailing
-line.  :meth:`Journal.load` verifies every digest (raising
-:class:`~repro.errors.JournalCorrupt` on a mismatch, which means the file
-was *edited*, not torn) and silently drops an incomplete final line
-(which means the writer *died*, the exact event journaling exists to
-survive).
+Two layers live here:
 
-Resume semantics: an entry satisfies a scenario only when suite, name,
-task *and* params all match — a journal written at different bench
-parameters can never leak stale results into a run.
+**The line machinery** (:func:`write_journal_record`,
+:func:`read_journal_records`) — generic append-only JSONL where every
+line is canonical JSON carrying a ``sha256`` field over the rest of the
+record, flushed and fsynced per line.  A SIGKILLed writer leaves at most
+one torn trailing line, which reads drop silently (that is the crash
+signature journaling exists to survive); any *other* malformed line, or
+any digest/version mismatch, raises
+:class:`~repro.errors.JournalCorrupt` naming the line.  The serve
+daemon's tick journal and checkpoints reuse this layer.
+
+**The scenario journal** (:class:`Journal`, ``JOURNAL_<suite>*.jsonl``) —
+one line per completed bench scenario, with resume semantics: an entry
+satisfies a scenario only when suite, name, task *and* params all match,
+so a journal written at different bench parameters can never leak stale
+results into a run.
+
+Collision safety: journals carry an optional **run-id header** (first
+line, ``kind: "header"``).  :func:`suite_run_id` derives a stable id from
+the suite name plus the exact scenario list; :func:`journal_path` folds
+it into the filename; and a :class:`Journal` opened with a ``run_id``
+refuses — with a clear ``journal_corrupt`` code, not silent mixing — to
+append to or load a file whose header belongs to a different run.
 """
 
 from __future__ import annotations
@@ -30,9 +42,129 @@ from repro.runner.scenario import Scenario
 JOURNAL_VERSION = 1
 
 
-def journal_path(suite: str, directory: str | Path = ".") -> Path:
-    """Where the journal for ``suite`` lives inside ``directory``."""
-    return Path(directory) / f"JOURNAL_{suite}.jsonl"
+def journal_path(
+    suite: str, directory: str | Path = ".", run_id: str | None = None
+) -> Path:
+    """Where the journal for ``suite`` (optionally one run of it) lives."""
+    stem = f"JOURNAL_{suite}" if run_id is None else f"JOURNAL_{suite}_{run_id}"
+    return Path(directory) / f"{stem}.jsonl"
+
+
+def suite_run_id(suite: str, scenarios: list[Scenario]) -> str:
+    """Stable run id for one suite execution: suite + exact scenario list.
+
+    Two runs over the same scenarios share an id (so resume finds the
+    journal); any change to the scenario set, tasks or params yields a
+    different id (so journals can never collide across configurations).
+    """
+    payload = {
+        "suite": suite,
+        "scenarios": [
+            {"name": s.name, "task": s.task, "params": s.params} for s in scenarios
+        ],
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()[:12]
+
+
+# ------------------------------------------------------- the line machinery
+
+
+def record_digest(record: dict) -> str:
+    """SHA-256 of a record's canonical JSON (the per-line integrity seal)."""
+    return hashlib.sha256(canonical_json(record).encode()).hexdigest()
+
+
+def write_journal_record(path: str | Path, record: dict) -> None:
+    """Durably append one record (digest field + flush + fsync per line)."""
+    path = Path(path)
+    line = canonical_json({**record, "sha256": record_digest(record)})
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def read_journal_records(path: str | Path) -> list[dict]:
+    """Parse and verify every journaled record (digest stripped).
+
+    A torn final line (no trailing newline, or unparseable JSON in the
+    last position) is dropped — the signature of a writer killed
+    mid-append.  Anywhere else, or on any digest/version mismatch, the
+    journal is corrupt and the error says which line.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    raw = path.read_text(encoding="utf-8")
+    lines = raw.split("\n")
+    torn_tail = lines and lines[-1] != ""
+    if not torn_tail:
+        lines = lines[:-1]
+    records: list[dict] = []
+    for index, line in enumerate(lines):
+        last = index == len(lines) - 1
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if last and torn_tail:
+                break  # torn by a crash mid-append; resume re-runs it
+            raise JournalCorrupt(
+                f"journal {path} line {index + 1} is not valid JSON",
+                line=index + 1,
+            ) from exc
+        if not isinstance(payload, dict) or "sha256" not in payload:
+            if last and torn_tail:
+                break
+            raise JournalCorrupt(
+                f"journal {path} line {index + 1} has no digest",
+                line=index + 1,
+            )
+        stored = payload.pop("sha256")
+        if record_digest(payload) != stored:
+            raise JournalCorrupt(
+                f"journal {path} line {index + 1} digest mismatch "
+                f"(edited or bit-rotted journal)",
+                line=index + 1,
+                expected=stored,
+            )
+        if payload.get("version") != JOURNAL_VERSION:
+            raise JournalCorrupt(
+                f"journal {path} line {index + 1} has version "
+                f"{payload.get('version')!r}, expected {JOURNAL_VERSION}",
+                line=index + 1,
+            )
+        records.append(payload)
+    return records
+
+
+def check_run_id(path: str | Path, records: list[dict], run_id: str | None) -> None:
+    """Refuse a journal whose header belongs to a different run.
+
+    With ``run_id`` set, the first record must be a matching header — a
+    missing header means the file predates run-id journaling (or is some
+    other file entirely) and appending would silently mix runs.
+    """
+    if run_id is None or not records:
+        return
+    head = records[0]
+    if head.get("kind") != "header":
+        raise JournalCorrupt(
+            f"journal {path} has no run-id header; refusing to mix runs",
+            expected_run_id=run_id,
+        )
+    if head.get("run_id") != run_id:
+        raise JournalCorrupt(
+            f"journal {path} belongs to run {head.get('run_id')!r}, "
+            f"not {run_id!r}; refusing to mix runs",
+            expected_run_id=run_id,
+            found_run_id=head.get("run_id"),
+        )
+
+
+# ------------------------------------------------------ the scenario journal
 
 
 @dataclass(frozen=True)
@@ -79,79 +211,47 @@ class JournalEntry:
         }
 
 
-def _record_digest(record: dict) -> str:
-    return hashlib.sha256(canonical_json(record).encode()).hexdigest()
-
-
 class Journal:
-    """Append-only, digest-verified scenario journal."""
+    """Append-only, digest-verified scenario journal.
 
-    def __init__(self, path: str | Path) -> None:
+    With ``run_id`` set, the journal is collision-safe: the first line of
+    a fresh file is a run-id header, and appends/loads against a file
+    carrying a different (or no) header raise
+    :class:`~repro.errors.JournalCorrupt` instead of mixing runs.
+    Without ``run_id`` the pre-run-id behaviour is preserved exactly.
+    """
+
+    def __init__(self, path: str | Path, run_id: str | None = None) -> None:
         self.path = Path(path)
+        self.run_id = run_id
 
     def exists(self) -> bool:
         return self.path.exists()
 
+    def _ensure_header(self) -> None:
+        if self.run_id is None:
+            return
+        if self.path.exists() and self.path.stat().st_size > 0:
+            check_run_id(self.path, read_journal_records(self.path), self.run_id)
+            return
+        write_journal_record(
+            self.path,
+            {"version": JOURNAL_VERSION, "kind": "header", "run_id": self.run_id},
+        )
+
     def append(self, entry: JournalEntry) -> None:
         """Durably append one completed scenario (flush + fsync per line)."""
-        record = entry.record()
-        line = canonical_json({**record, "sha256": _record_digest(record)})
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        self._ensure_header()
+        write_journal_record(self.path, entry.record())
 
     def load(self) -> list[JournalEntry]:
-        """Parse and verify every journaled entry.
-
-        A torn final line (no trailing newline, or unparseable JSON in the
-        last position) is dropped — that is the signature of a writer
-        killed mid-append.  Anywhere else, or on any digest/version
-        mismatch, the journal is corrupt and the error says which line.
-        """
-        if not self.path.exists():
-            return []
-        raw = self.path.read_text(encoding="utf-8")
-        lines = raw.split("\n")
-        torn_tail = lines and lines[-1] != ""
-        if not torn_tail:
-            lines = lines[:-1]
+        """Parse and verify every journaled entry (header lines skipped)."""
+        records = read_journal_records(self.path)
+        check_run_id(self.path, records, self.run_id)
         entries: list[JournalEntry] = []
-        for index, line in enumerate(lines):
-            last = index == len(lines) - 1
-            if not line.strip():
+        for payload in records:
+            if payload.get("kind") == "header":
                 continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as exc:
-                if last and torn_tail:
-                    break  # torn by a crash mid-append; resume re-runs it
-                raise JournalCorrupt(
-                    f"journal {self.path} line {index + 1} is not valid JSON",
-                    line=index + 1,
-                ) from exc
-            if not isinstance(payload, dict) or "sha256" not in payload:
-                if last and torn_tail:
-                    break
-                raise JournalCorrupt(
-                    f"journal {self.path} line {index + 1} has no digest",
-                    line=index + 1,
-                )
-            stored = payload.pop("sha256")
-            if _record_digest(payload) != stored:
-                raise JournalCorrupt(
-                    f"journal {self.path} line {index + 1} digest mismatch "
-                    f"(edited or bit-rotted journal)",
-                    line=index + 1,
-                    expected=stored,
-                )
-            if payload.get("version") != JOURNAL_VERSION:
-                raise JournalCorrupt(
-                    f"journal {self.path} line {index + 1} has version "
-                    f"{payload.get('version')!r}, expected {JOURNAL_VERSION}",
-                    line=index + 1,
-                )
             entries.append(
                 JournalEntry(
                     suite=payload["suite"],

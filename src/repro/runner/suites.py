@@ -325,6 +325,58 @@ def trace_corruption_scenarios(
     ]
 
 
+#: Tasks that understand the ``engine`` parameter (replay-engine aware).
+ENGINE_AWARE_TASKS = ("simulate", "sanitized_simulate")
+
+
+def with_engine(scenarios: list[Scenario], engine: str) -> list[Scenario]:
+    """Pin every engine-aware scenario in the list to ``engine``.
+
+    ``engine="both"`` instead *pairs* each engine-aware scenario: one copy
+    per replay engine, names suffixed ``__object``/``__columnar``.  The
+    two copies share every other parameter, so their summary digests must
+    be bit-identical — ``repro bench --engine both`` asserts exactly that
+    (the differential contract of :mod:`repro.simulation.columnar`).
+    Scenarios whose task ignores ``engine`` pass through untouched.
+    """
+    if engine == "both":
+        paired: list[Scenario] = []
+        for scenario in scenarios:
+            if scenario.task in ENGINE_AWARE_TASKS:
+                paired.extend(
+                    Scenario(
+                        name=f"{scenario.name}__{eng}",
+                        task=scenario.task,
+                        params={**scenario.params, "engine": eng},
+                    )
+                    for eng in REPLAY_ENGINES
+                )
+            else:
+                paired.append(scenario)
+        return paired
+    return [
+        Scenario(
+            name=scenario.name,
+            task=scenario.task,
+            params={**scenario.params, "engine": engine},
+        )
+        if scenario.task in ENGINE_AWARE_TASKS
+        else scenario
+        for scenario in scenarios
+    ]
+
+
+def engine_pairs(scenarios: list[Scenario]) -> list[tuple[str, str]]:
+    """(object_name, columnar_name) pairs produced by ``with_engine(.., "both")``."""
+    names = {s.name for s in scenarios}
+    return [
+        (name, f"{base}__columnar")
+        for name in sorted(names)
+        for base in [name.removesuffix("__object")]
+        if name.endswith("__object") and f"{base}__columnar" in names
+    ]
+
+
 #: Suite name -> builder, for the ``repro bench`` CLI.
 SUITES = {
     "scalability": lambda defaults: scalability_scenarios(),

@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ScenarioCrash, ScenarioError, ScenarioFailed, ScenarioTimeout
-from repro.runner.journal import Journal, JournalEntry, journal_path
+from repro.runner.journal import Journal, JournalEntry, journal_path, suite_run_id
 from repro.runner.runner import (
     RunnerReport,
     ScenarioFailure,
@@ -165,11 +165,11 @@ class ScenarioSupervisor:
     ) -> None:
         self.suite = suite
         self.config = config or SupervisorConfig()
-        self.journal = (
-            Journal(journal_path(suite, journal_dir))
-            if journal_dir is not None
-            else None
-        )
+        self._journal_dir = journal_dir
+        #: Bound by :meth:`run` once the scenario list (hence the run id)
+        #: is known; the path carries the run id so journals from
+        #: different scenario sets can never collide.
+        self.journal: Journal | None = None
         #: Names executed (spawned) by the most recent :meth:`run`.
         self.executed: list[str] = []
         #: Names satisfied from the journal by the most recent :meth:`run`.
@@ -196,6 +196,11 @@ class ScenarioSupervisor:
         names = [s.name for s in scenarios]
         if len(set(names)) != len(names):
             raise ValueError(f"scenario names must be unique, got {names}")
+        if self._journal_dir is not None:
+            run_id = suite_run_id(self.suite, scenarios)
+            self.journal = Journal(
+                journal_path(self.suite, self._journal_dir, run_id), run_id
+            )
         self.executed = []
         self.resumed = []
         self.failure_log = []

@@ -1,0 +1,75 @@
+"""The online control plane: ``repro serve`` (ROADMAP item 3).
+
+Layer map, bottom to top:
+
+- :mod:`repro.serve.clock` — the injected wall-clock seam (DET006);
+- :mod:`repro.serve.config` — deterministic vs hot-reloadable knobs;
+- :mod:`repro.serve.feeder` — replay / file-tail / socket arrival sources;
+- :mod:`repro.serve.state` — the deterministic control-plane state
+  (classifier, forecasts, guard + ladder pipeline, rolling chain digest);
+- :mod:`repro.serve.chaos` — FaultPlans projected onto live tick effects;
+- :mod:`repro.serve.checkpoint` — write-ahead tick journal + atomic
+  digest-verified checkpoints + bit-identical restore;
+- :mod:`repro.serve.http` — ``/healthz`` ``/readyz`` ``/metrics``;
+- :mod:`repro.serve.daemon` — the watchdog-supervised run loop.
+"""
+
+from repro.serve.chaos import CHAOS_PRESETS, ControlCrash, ServeChaos, SolverOutage
+from repro.serve.checkpoint import (
+    CheckpointStore,
+    TickJournal,
+    derive_run_id,
+    restore,
+)
+from repro.serve.clock import Clock, ManualClock, SystemClock
+from repro.serve.config import RELOADABLE_FIELDS, ServeConfig, load_config_file
+from repro.serve.daemon import EventLog, ServeDaemon, event_log_path
+from repro.serve.feeder import (
+    ArrivalRecord,
+    FileTailFeeder,
+    ReplayFeeder,
+    SocketFeeder,
+    TickBatch,
+    parse_arrival_line,
+)
+from repro.serve.http import HealthServer, ServeMetrics
+from repro.serve.state import (
+    ChaosEffects,
+    OnlineClassifier,
+    ServeState,
+    TickOutcome,
+    WelfordStats,
+)
+
+__all__ = [
+    "ArrivalRecord",
+    "CHAOS_PRESETS",
+    "ChaosEffects",
+    "CheckpointStore",
+    "Clock",
+    "ControlCrash",
+    "EventLog",
+    "FileTailFeeder",
+    "HealthServer",
+    "ManualClock",
+    "OnlineClassifier",
+    "RELOADABLE_FIELDS",
+    "ReplayFeeder",
+    "ServeChaos",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeMetrics",
+    "ServeState",
+    "SocketFeeder",
+    "SolverOutage",
+    "SystemClock",
+    "TickBatch",
+    "TickJournal",
+    "TickOutcome",
+    "WelfordStats",
+    "derive_run_id",
+    "event_log_path",
+    "load_config_file",
+    "parse_arrival_line",
+    "restore",
+]

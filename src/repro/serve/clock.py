@@ -1,0 +1,85 @@
+"""The injected wall-clock seam for the serve control plane.
+
+Everything under ``src/repro/serve`` that needs real time — watchdog
+backoff sleeps, decision-latency measurement, checkpoint-age stamps,
+event-log timestamps — goes through a :class:`Clock` instance handed to
+the daemon, never through ``time.time()`` directly.  That is what keeps
+the daemon's digest state deterministic: the control-state transition
+per tick is a pure function of the tick stream, and every wall-clock
+read is quarantined into *ops metrics* that never enter a digest.
+
+harmonylint enforces the seam: DET006 forbids raw ``time.*`` /
+``datetime.now`` / ``random.*`` calls anywhere in ``src/repro/serve``
+and ``src/repro/simulation`` except this file (and the PhaseTimer seam,
+``src/repro/simulation/timing.py``).
+
+:class:`ManualClock` is the test half of the seam: a clock the test
+advances explicitly, so daemon runs in tests are instant and the ops
+metrics they produce are reproducible.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+
+class Clock:
+    """Wall-clock interface the daemon is parameterized over."""
+
+    def now(self) -> float:
+        """Seconds since the epoch (event-log timestamps)."""
+        raise NotImplementedError
+
+    def monotonic(self) -> float:
+        """Monotonic seconds (latency and age measurement)."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` (watchdog backoff, tick pacing)."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real clock — the only sanctioned wall-clock reader in serve/."""
+
+    def now(self) -> float:
+        return _time.time()
+
+    def monotonic(self) -> float:
+        return _time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            _time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """A deterministic clock tests drive by hand.
+
+    ``sleep`` advances the clock instead of blocking, so watchdog backoff
+    and tick pacing run instantly while still being observable (the
+    ``slept`` log records every requested delay).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self.slept: list[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.slept.append(float(seconds))
+        if seconds > 0:
+            self._now += float(seconds)
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance backwards, got {seconds}")
+        self._now += float(seconds)
+
+
+__all__ = ["Clock", "SystemClock", "ManualClock"]

@@ -1,0 +1,230 @@
+"""Serve daemon configuration: deterministic core vs hot-reloadable ops.
+
+The config is split into two halves with very different rules:
+
+**Deterministic knobs** (tick length, class count, forecast parameters,
+fleet scale, chaos plan) define the state-transition function.  They are
+pinned at daemon start, folded into the run id, and may *never* change
+across a restore — a restored run with a different transition function
+could not possibly replay the journal suffix to a bit-identical state.
+
+**Ops knobs** (checkpoint cadence, watchdog budgets, HTTP port, tick
+pacing) only shape *when* and *how fast* things happen, never *what* the
+state becomes.  These are hot-reloadable: SIGHUP (or an mtime change on
+``--config``) re-reads the file, validates the candidate in full, and
+swaps it in atomically — an invalid candidate is rejected and the old
+config stays live (validate-then-swap with rollback).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+
+from repro.errors import ConfigInvalid
+
+#: Ops fields that a hot reload may change; anything else differing in a
+#: reload candidate is a determinism hazard and rejects the candidate.
+RELOADABLE_FIELDS = frozenset(
+    {
+        "checkpoint_interval_ticks",
+        "watchdog_attempts",
+        "watchdog_backoff_base_seconds",
+        "stage_budget_seconds",
+        "tick_delay_seconds",
+        "health_stale_seconds",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs for :class:`~repro.serve.daemon.ServeDaemon`.
+
+    Attributes
+    ----------
+    tick_seconds:
+        Control-tick length; arrivals are batched per tick (deterministic).
+    num_classes:
+        Online-classifier centroid count (deterministic).
+    ewma_alpha:
+        Primary forecast smoothing per class (deterministic).
+    seasonal_period:
+        Rung-1 seasonal-naive period, in ticks (deterministic).
+    target_delay_seconds:
+        M/G/N queueing delay SLO fed to ``required_containers`` (det.).
+    overprovision:
+        Eq. 17-style headroom multiplier on container demand (det.).
+    fleet_scale:
+        Table II fleet scale factor (deterministic).
+    checkpoint_interval_ticks:
+        Write a checkpoint every N applied ticks (ops).
+    watchdog_attempts:
+        Control-step attempts per tick before the watchdog holds (ops).
+    watchdog_backoff_base_seconds:
+        Base of the deterministic-jitter backoff between attempts (ops).
+    stage_budget_seconds:
+        Per-stage soft wall-clock budget; overruns are counted and logged,
+        never allowed to change state (ops).  ``None`` disables.
+    tick_delay_seconds:
+        Artificial pacing per tick, for chaos drills that need a window
+        to SIGKILL into (ops).
+    health_stale_seconds:
+        ``/healthz`` reports unhealthy when no tick completed within this
+        budget (ops).
+    """
+
+    tick_seconds: float = 300.0
+    num_classes: int = 4
+    ewma_alpha: float = 0.3
+    seasonal_period: int = 12
+    target_delay_seconds: float = 300.0
+    overprovision: float = 1.2
+    fleet_scale: float = 0.1
+    checkpoint_interval_ticks: int = 8
+    watchdog_attempts: int = 3
+    watchdog_backoff_base_seconds: float = 0.05
+    stage_budget_seconds: float | None = None
+    tick_delay_seconds: float = 0.0
+    health_stale_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.tick_seconds <= 0:
+            raise ConfigInvalid(
+                f"tick_seconds must be positive, got {self.tick_seconds}",
+                field="tick_seconds",
+            )
+        if self.num_classes < 1:
+            raise ConfigInvalid(
+                f"num_classes must be >= 1, got {self.num_classes}",
+                field="num_classes",
+            )
+        if not 0 < self.ewma_alpha <= 1:
+            raise ConfigInvalid(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}",
+                field="ewma_alpha",
+            )
+        if self.seasonal_period < 1:
+            raise ConfigInvalid(
+                f"seasonal_period must be >= 1, got {self.seasonal_period}",
+                field="seasonal_period",
+            )
+        if self.target_delay_seconds <= 0:
+            raise ConfigInvalid(
+                "target_delay_seconds must be positive, got "
+                f"{self.target_delay_seconds}",
+                field="target_delay_seconds",
+            )
+        if self.overprovision < 1:
+            raise ConfigInvalid(
+                f"overprovision must be >= 1, got {self.overprovision}",
+                field="overprovision",
+            )
+        if self.fleet_scale <= 0:
+            raise ConfigInvalid(
+                f"fleet_scale must be positive, got {self.fleet_scale}",
+                field="fleet_scale",
+            )
+        if self.checkpoint_interval_ticks < 1:
+            raise ConfigInvalid(
+                "checkpoint_interval_ticks must be >= 1, got "
+                f"{self.checkpoint_interval_ticks}",
+                field="checkpoint_interval_ticks",
+            )
+        if self.watchdog_attempts < 1:
+            raise ConfigInvalid(
+                f"watchdog_attempts must be >= 1, got {self.watchdog_attempts}",
+                field="watchdog_attempts",
+            )
+        if self.watchdog_backoff_base_seconds < 0:
+            raise ConfigInvalid(
+                "watchdog_backoff_base_seconds must be >= 0, got "
+                f"{self.watchdog_backoff_base_seconds}",
+                field="watchdog_backoff_base_seconds",
+            )
+        if self.stage_budget_seconds is not None and self.stage_budget_seconds <= 0:
+            raise ConfigInvalid(
+                "stage_budget_seconds must be positive or None, got "
+                f"{self.stage_budget_seconds}",
+                field="stage_budget_seconds",
+            )
+        if self.tick_delay_seconds < 0:
+            raise ConfigInvalid(
+                f"tick_delay_seconds must be >= 0, got {self.tick_delay_seconds}",
+                field="tick_delay_seconds",
+            )
+        if self.health_stale_seconds <= 0:
+            raise ConfigInvalid(
+                "health_stale_seconds must be positive, got "
+                f"{self.health_stale_seconds}",
+                field="health_stale_seconds",
+            )
+
+    # ------------------------------------------------------------- identity
+
+    def deterministic_fields(self) -> dict:
+        """The digest-relevant half, for run-id derivation."""
+        payload = asdict(self)
+        for field in RELOADABLE_FIELDS:
+            payload.pop(field, None)
+        return payload
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServeConfig":
+        if not isinstance(payload, dict):
+            raise ConfigInvalid(
+                f"config payload must be an object, got {type(payload).__name__}"
+            )
+        unknown = sorted(set(payload) - set(cls.__dataclass_fields__))
+        if unknown:
+            raise ConfigInvalid(
+                f"unknown config field(s): {', '.join(unknown)}",
+                fields=unknown,
+            )
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise ConfigInvalid(f"malformed config payload: {exc}") from exc
+
+    # ------------------------------------------------------------ hot reload
+
+    def reloaded(self, candidate: "ServeConfig") -> "ServeConfig":
+        """Validate-then-swap: apply ``candidate``'s ops knobs onto self.
+
+        A candidate that changes any deterministic field is rejected with
+        :class:`~repro.errors.ConfigInvalid` — the caller keeps running on
+        the old config (rollback).
+        """
+        drift = sorted(
+            name
+            for name, value in candidate.deterministic_fields().items()
+            if self.deterministic_fields()[name] != value
+        )
+        if drift:
+            raise ConfigInvalid(
+                "hot reload may only change ops knobs; deterministic "
+                f"field(s) changed: {', '.join(drift)}",
+                fields=drift,
+            )
+        return replace(
+            self,
+            **{name: getattr(candidate, name) for name in sorted(RELOADABLE_FIELDS)},
+        )
+
+
+def load_config_file(path: str | Path) -> ServeConfig:
+    """Parse and validate a JSON config file (full-file validation)."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigInvalid(f"cannot read config {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigInvalid(f"config {path} is not valid JSON: {exc}") from exc
+    return ServeConfig.from_dict(payload)
+
+
+__all__ = ["ServeConfig", "RELOADABLE_FIELDS", "load_config_file"]

@@ -1,0 +1,350 @@
+"""Arrival sources for the serve daemon.
+
+Three feeders share one contract — they yield :class:`TickBatch` objects
+in strictly increasing tick order:
+
+- :class:`ReplayFeeder` — deterministic replay of a (synthetic or saved)
+  trace, binned into ticks up front.  The feeder for tests, CI chaos
+  drills and digest comparisons: the same trace parameters always produce
+  the same batch stream, and ``start_tick`` resumes mid-stream after a
+  restore without re-reading anything.
+- :class:`FileTailFeeder` — tails a JSONL file of arrival lines (the
+  "file tail" half of the live protocol).
+- :class:`SocketFeeder` — accepts one TCP client speaking the same line
+  protocol (the "socket" half).
+
+The line protocol is one JSON object per line:
+
+``{"time": 1234.0, "cpu": 0.02, "memory": 0.01, "duration": 600, "priority": 2}``
+    one arrival (``priority`` optional, default 0);
+``{"kind": "tick"}``
+    flush the current tick early (close the batch at the next boundary);
+``{"kind": "end"}``
+    end of stream — the daemon drains and exits.
+
+Malformed lines never kill the stream: they are counted on
+``feeder.rejected`` and skipped, mirroring the data-plane sanitizer's
+quarantine discipline.  For live feeders the journal — not the source —
+is the replayable record: restores replay the journal suffix, so a live
+feed only ever needs to move forward.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import socket as _socket
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.serve.clock import Clock, SystemClock
+
+
+@dataclass(frozen=True)
+class ArrivalRecord:
+    """One task arrival, reduced to the features the online plane needs."""
+
+    time: float
+    cpu: float
+    memory: float
+    duration: float
+    priority: int = 0
+
+    def to_state(self) -> list:
+        """Journal/checkpoint encoding (positional, compact, canonical)."""
+        return [self.time, self.cpu, self.memory, self.duration, self.priority]
+
+    @classmethod
+    def from_state(cls, state: list) -> "ArrivalRecord":
+        time, cpu, memory, duration, priority = state
+        return cls(
+            time=float(time),
+            cpu=float(cpu),
+            memory=float(memory),
+            duration=float(duration),
+            priority=int(priority),
+        )
+
+
+@dataclass(frozen=True)
+class TickBatch:
+    """All arrivals of one control tick."""
+
+    tick: int
+    time: float
+    arrivals: tuple[ArrivalRecord, ...]
+
+
+def parse_arrival_line(line: str) -> ArrivalRecord | str | None:
+    """One protocol line -> arrival, control keyword, or ``None`` (reject).
+
+    Returns the :class:`ArrivalRecord`, the control string (``"tick"`` /
+    ``"end"``), or ``None`` for anything malformed.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(payload, dict):
+        return None
+    kind = payload.get("kind")
+    if kind in ("tick", "end"):
+        return kind
+    try:
+        record = ArrivalRecord(
+            time=float(payload["time"]),
+            cpu=float(payload["cpu"]),
+            memory=float(payload["memory"]),
+            duration=float(payload["duration"]),
+            priority=int(payload.get("priority", 0)),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+    if (
+        not math.isfinite(record.time)
+        or record.time < 0
+        or not 0 < record.cpu <= 1
+        or not 0 < record.memory <= 1
+        or not math.isfinite(record.duration)
+        or record.duration <= 0
+    ):
+        return None
+    return record
+
+
+class ReplayFeeder:
+    """Deterministic tick batches from a materialized trace.
+
+    Parameters
+    ----------
+    tasks:
+        Anything with ``submit_time`` / ``cpu`` / ``memory`` / ``duration``
+        / ``priority`` attributes (``repro.trace`` Task objects).
+    horizon:
+        Trace horizon in seconds; defines the tick count together with
+        ``tick_seconds``.
+    tick_seconds:
+        Control-tick length.
+    max_ticks:
+        Optional cap on the number of ticks replayed.
+    """
+
+    def __init__(
+        self,
+        tasks,
+        horizon: float,
+        tick_seconds: float,
+        max_ticks: int | None = None,
+    ) -> None:
+        if tick_seconds <= 0:
+            raise ValueError(f"tick_seconds must be positive, got {tick_seconds}")
+        self.tick_seconds = float(tick_seconds)
+        self.rejected = 0
+        num_ticks = max(int(math.ceil(horizon / tick_seconds)), 1)
+        if max_ticks is not None:
+            num_ticks = min(num_ticks, int(max_ticks))
+        self.num_ticks = num_ticks
+        buckets: list[list[ArrivalRecord]] = [[] for _ in range(num_ticks)]
+        for task in tasks:
+            index = int(task.submit_time // tick_seconds)
+            if 0 <= index < num_ticks:
+                buckets[index].append(
+                    ArrivalRecord(
+                        time=float(task.submit_time),
+                        cpu=float(task.cpu),
+                        memory=float(task.memory),
+                        duration=float(task.duration),
+                        priority=int(task.priority),
+                    )
+                )
+        # Stable within-tick order: by (time, cpu, memory, duration) so the
+        # batch stream is independent of the caller's task ordering.
+        self._batches = tuple(
+            TickBatch(
+                tick=index,
+                time=index * self.tick_seconds,
+                arrivals=tuple(
+                    sorted(
+                        bucket,
+                        key=lambda a: (a.time, a.cpu, a.memory, a.duration, a.priority),
+                    )
+                ),
+            )
+            for index, bucket in enumerate(buckets)
+        )
+
+    def batches(self, start_tick: int = 0) -> Iterator[TickBatch]:
+        """Yield tick batches from ``start_tick`` (inclusive) onward."""
+        if start_tick < 0:
+            raise ValueError(f"start_tick must be >= 0, got {start_tick}")
+        yield from self._batches[start_tick:]
+
+
+class _LineProtocolBatcher:
+    """Shared line-protocol state machine for the live feeders.
+
+    Feed raw lines in; collect completed :class:`TickBatch` objects out.
+    A batch closes when an arrival lands past the current tick boundary,
+    on an explicit ``{"kind": "tick"}`` flush, or at end of stream.
+    """
+
+    def __init__(self, tick_seconds: float, start_tick: int = 0) -> None:
+        self.tick_seconds = float(tick_seconds)
+        self.tick = int(start_tick)
+        self.rejected = 0
+        self.ended = False
+        self._pending: list[ArrivalRecord] = []
+
+    def _close(self) -> TickBatch:
+        batch = TickBatch(
+            tick=self.tick,
+            time=self.tick * self.tick_seconds,
+            arrivals=tuple(self._pending),
+        )
+        self._pending = []
+        self.tick += 1
+        return batch
+
+    def push(self, line: str) -> list[TickBatch]:
+        parsed = parse_arrival_line(line)
+        if parsed is None:
+            if line.strip():
+                self.rejected += 1
+            return []
+        if parsed == "end":
+            self.ended = True
+            return [self._close()]
+        if parsed == "tick":
+            return [self._close()]
+        closed: list[TickBatch] = []
+        # Fast-forward through empty ticks until the arrival's tick.
+        while parsed.time >= (self.tick + 1) * self.tick_seconds:
+            closed.append(self._close())
+        self._pending.append(parsed)
+        return closed
+
+
+class FileTailFeeder:
+    """Tail a JSONL arrival file, emitting tick batches as lines land."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        tick_seconds: float,
+        clock: Clock | None = None,
+        poll_seconds: float = 0.05,
+        max_ticks: int | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self.clock = clock or SystemClock()
+        self.poll_seconds = float(poll_seconds)
+        self.max_ticks = max_ticks
+        self._batcher = _LineProtocolBatcher(tick_seconds)
+        self.stopped = False
+
+    @property
+    def rejected(self) -> int:
+        return self._batcher.rejected
+
+    def stop(self) -> None:
+        """Ask the tail loop to wind down at the next poll (drain)."""
+        self.stopped = True
+
+    def batches(self, start_tick: int = 0) -> Iterator[TickBatch]:
+        self._batcher.tick = int(start_tick)
+        emitted = 0
+        with open(self.path, "r", encoding="utf-8") as handle:
+            buffer = ""
+            while not self.stopped:
+                chunk = handle.readline()
+                if not chunk:
+                    self.clock.sleep(self.poll_seconds)
+                    continue
+                buffer += chunk
+                if not buffer.endswith("\n"):
+                    continue  # torn line; wait for the writer to finish it
+                line, buffer = buffer, ""
+                for batch in self._batcher.push(line):
+                    yield batch
+                    emitted += 1
+                    if self.max_ticks is not None and emitted >= self.max_ticks:
+                        return
+                if self._batcher.ended:
+                    return
+
+
+class SocketFeeder:
+    """Accept one TCP client speaking the arrival line protocol."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tick_seconds: float = 300.0,
+        max_ticks: int | None = None,
+        accept_timeout: float = 30.0,
+    ) -> None:
+        self.tick_seconds = float(tick_seconds)
+        self.max_ticks = max_ticks
+        self._batcher = _LineProtocolBatcher(tick_seconds)
+        self._server = _socket.socket(_socket.AF_INET, _socket.SOCK_STREAM)
+        self._server.setsockopt(_socket.SOL_SOCKET, _socket.SO_REUSEADDR, 1)
+        self._server.bind((host, port))
+        self._server.listen(1)
+        self._server.settimeout(accept_timeout)
+        self.address = self._server.getsockname()
+        self.stopped = False
+
+    @property
+    def rejected(self) -> int:
+        return self._batcher.rejected
+
+    def stop(self) -> None:
+        self.stopped = True
+
+    def close(self) -> None:
+        try:
+            self._server.close()
+        except OSError:
+            pass
+
+    def batches(self, start_tick: int = 0) -> Iterator[TickBatch]:
+        self._batcher.tick = int(start_tick)
+        emitted = 0
+        try:
+            conn, _ = self._server.accept()
+        except (OSError, TimeoutError):
+            self.close()
+            return
+        try:
+            reader = conn.makefile("r", encoding="utf-8")
+            for line in reader:
+                if self.stopped:
+                    return
+                for batch in self._batcher.push(line):
+                    yield batch
+                    emitted += 1
+                    if self.max_ticks is not None and emitted >= self.max_ticks:
+                        return
+                if self._batcher.ended:
+                    return
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            self.close()
+
+
+__all__ = [
+    "ArrivalRecord",
+    "TickBatch",
+    "parse_arrival_line",
+    "ReplayFeeder",
+    "FileTailFeeder",
+    "SocketFeeder",
+]

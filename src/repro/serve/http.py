@@ -1,0 +1,183 @@
+"""Stdlib health/readiness/metrics endpoints for the serve daemon.
+
+Three GET routes on a :class:`~http.server.ThreadingHTTPServer`:
+
+``/healthz``
+    200 while the control loop is live (a tick completed within
+    ``health_stale_seconds``, or the run already drained cleanly);
+    503 otherwise.  The watchdog restarting a tick does *not* flip
+    health — only a stuck loop does.
+``/readyz``
+    200 once the daemon finished restore/cold-start and applied at
+    least one tick; 503 before that and after shutdown begins.
+``/metrics``
+    JSON snapshot of the ops metrics: decision latency, current
+    degradation rung, checkpoint age (ticks since last checkpoint and
+    seconds, by the injected clock), watchdog restarts, fabric
+    partition state, feeder rejects, config reloads.
+
+The server runs on a daemon thread and shares one :class:`ServeMetrics`
+with the control loop under a lock.  Everything here is **ops-side**:
+nothing served over HTTP ever feeds back into digest state.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.clock import Clock
+
+
+class ServeMetrics:
+    """Thread-safe ops-metrics snapshot shared with the HTTP server."""
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._data: dict = {
+            "ticks": 0,
+            "rung": None,
+            "rung_name": None,
+            "mode": None,
+            "arrivals_total": 0,
+            "decision_latency_seconds": None,
+            "checkpoint_age_ticks": None,
+            "checkpoint_age_seconds": None,
+            "restarts": 0,
+            "stage_overruns": 0,
+            "partitioned": False,
+            "unreachable_cells": [],
+            "feeder_rejected": 0,
+            "config_reloads": 0,
+            "config_reload_rejections": 0,
+            "restored_from_tick": None,
+            "chain": None,
+        }
+        self._ready = False
+        self._draining = False
+        self._drained = False
+        self._last_tick_at: float | None = None
+        self._last_checkpoint_at: float | None = None
+
+    # ------------------------------------------------------------- mutation
+
+    def update(self, **fields) -> None:
+        with self._lock:
+            self._data.update(fields)
+
+    def increment(self, key: str, by: int = 1) -> None:
+        with self._lock:
+            self._data[key] = (self._data.get(key) or 0) + by
+
+    def tick_completed(self) -> None:
+        with self._lock:
+            self._last_tick_at = self._clock.monotonic()
+            self._ready = True
+
+    def checkpoint_written(self, at_tick: int) -> None:
+        with self._lock:
+            self._last_checkpoint_at = self._clock.monotonic()
+            self._data["checkpoint_age_ticks"] = 0
+            self._data["_checkpoint_tick"] = at_tick
+
+    def mark_draining(self) -> None:
+        with self._lock:
+            self._draining = True
+
+    def mark_drained(self) -> None:
+        with self._lock:
+            self._drained = True
+
+    # -------------------------------------------------------------- queries
+
+    def healthy(self, stale_seconds: float) -> bool:
+        with self._lock:
+            if self._drained:
+                return True
+            if self._last_tick_at is None:
+                return False
+            return self._clock.monotonic() - self._last_tick_at <= stale_seconds
+
+    def ready(self) -> bool:
+        with self._lock:
+            return self._ready and not self._draining
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            data = {k: v for k, v in self._data.items() if not k.startswith("_")}
+            now = self._clock.monotonic()
+            if self._last_checkpoint_at is not None:
+                data["checkpoint_age_seconds"] = now - self._last_checkpoint_at
+                checkpoint_tick = self._data.get("_checkpoint_tick")
+                if checkpoint_tick is not None:
+                    data["checkpoint_age_ticks"] = (
+                        self._data["ticks"] - checkpoint_tick
+                    )
+            data["draining"] = self._draining
+            data["drained"] = self._drained
+            return data
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        metrics: ServeMetrics = self.server.metrics  # type: ignore[attr-defined]
+        stale: float = self.server.health_stale_seconds  # type: ignore[attr-defined]
+        if self.path == "/healthz":
+            ok = metrics.healthy(stale)
+            self._respond(200 if ok else 503, {"healthy": ok})
+        elif self.path == "/readyz":
+            ok = metrics.ready()
+            self._respond(200 if ok else 503, {"ready": ok})
+        elif self.path == "/metrics":
+            self._respond(200, metrics.snapshot())
+        else:
+            self._respond(404, {"error": f"unknown path {self.path}"})
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request stderr chatter (the event log covers it)."""
+
+
+class HealthServer:
+    """The daemon's HTTP face, on a background thread."""
+
+    def __init__(
+        self,
+        metrics: ServeMetrics,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        health_stale_seconds: float = 60.0,
+    ) -> None:
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.metrics = metrics  # type: ignore[attr-defined]
+        self._server.health_stale_seconds = health_stale_seconds  # type: ignore[attr-defined]
+        self.address = self._server.server_address
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="serve-http", daemon=True
+        )
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+
+
+__all__ = ["HealthServer", "ServeMetrics"]

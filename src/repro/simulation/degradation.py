@@ -175,6 +175,58 @@ class DegradationLadder:
         )
         return decision, level, reason
 
+    # ---------------------------------------------------- (de)serialization
+
+    def to_state(self) -> dict:
+        """Full behavior- and report-relevant state for serve checkpoints.
+
+        Timelines are serialized without truncation: the serve summary
+        derives rung counts from them, and a restored run's summary must
+        be bit-identical to an uninterrupted one.
+        """
+        return {
+            "timeline": [list(entry) for entry in self.timeline],
+            "cell_hold_ticks": [
+                [cell, self.cell_hold_ticks[cell]]
+                for cell in sorted(self.cell_hold_ticks)
+            ],
+            "cell_timeline": [
+                [time, [[cell, rung] for cell, rung in sorted(cells.items())]]
+                for time, cells in self.cell_timeline
+            ],
+            "reconciliations": self.reconciliations,
+            "reconciliation_divergence": self.reconciliation_divergence,
+            "last_good": None
+            if self._last_good is None
+            else self._last_good.to_state(),
+            "held_targets": [
+                [cell, self._held_targets[cell]]
+                for cell in sorted(self._held_targets)
+            ],
+            "partitioned_prev": sorted(self._partitioned_prev),
+            "fallback": self.fallback.to_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.timeline = [
+            (float(t), int(level), str(reason)) for t, level, reason in state["timeline"]
+        ]
+        self.cell_hold_ticks = {int(c): int(n) for c, n in state["cell_hold_ticks"]}
+        self.cell_timeline = [
+            (float(t), {int(c): str(r) for c, r in cells})
+            for t, cells in state["cell_timeline"]
+        ]
+        self.reconciliations = int(state["reconciliations"])
+        self.reconciliation_divergence = int(state["reconciliation_divergence"])
+        self._last_good = (
+            None
+            if state["last_good"] is None
+            else ProvisioningDecision.from_state(state["last_good"])
+        )
+        self._held_targets = {int(c): int(n) for c, n in state["held_targets"]}
+        self._partitioned_prev = frozenset(int(c) for c in state["partitioned_prev"])
+        self.fallback.restore_state(state["fallback"])
+
     def _hold(self, view: "ClusterView") -> ProvisioningDecision:
         """Rung 2: re-stamp the last-known-good plan, or keep current power."""
         if self._last_good is not None:

@@ -30,7 +30,21 @@ _NOQA_RE = re.compile(
 #: the runner measures scenario wall time by design, and PhaseTimer *is*
 #: the sanctioned timing primitive.
 TIMING_ALLOWLIST_DIRS = ("src/repro/runner",)
-TIMING_ALLOWLIST_FILES = ("src/repro/simulation/timing.py",)
+TIMING_ALLOWLIST_FILES = (
+    "src/repro/simulation/timing.py",
+    # SystemClock is the serve daemon's one sanctioned wall-clock reader.
+    "src/repro/serve/clock.py",
+)
+
+#: Control-plane trees where DET006 applies: every clock read and every
+#: stdlib-random call must flow through an injected seam.
+CONTROL_PLANE_DIRS = ("src/repro/serve", "src/repro/simulation")
+#: The seams themselves — the only files in those trees allowed to touch
+#: the raw primitives.
+CONTROL_PLANE_SEAM_FILES = (
+    "src/repro/serve/clock.py",
+    "src/repro/simulation/timing.py",
+)
 
 #: Numerically touchy modules where NUM001 (unguarded division/log/sqrt)
 #: applies: the Erlang-C/M/G/N inversion and Eq. 3 container sizing.
@@ -94,6 +108,16 @@ class ModuleContext:
         return self.rel_path in TIMING_ALLOWLIST_FILES or any(
             self.rel_path.startswith(prefix + "/")
             for prefix in TIMING_ALLOWLIST_DIRS
+        )
+
+    @property
+    def control_plane(self) -> bool:
+        """Inside the serve/simulation trees DET006 protects (seams exempt)."""
+        if self.rel_path in CONTROL_PLANE_SEAM_FILES:
+            return False
+        return any(
+            self.rel_path.startswith(prefix + "/")
+            for prefix in CONTROL_PLANE_DIRS
         )
 
     @property
@@ -189,6 +213,8 @@ __all__ = [
     "Suppression",
     "TIMING_ALLOWLIST_DIRS",
     "TIMING_ALLOWLIST_FILES",
+    "CONTROL_PLANE_DIRS",
+    "CONTROL_PLANE_SEAM_FILES",
     "NUMERIC_HOT_PATHS",
     "NUMERIC_HOT_PATH_FILES",
 ]

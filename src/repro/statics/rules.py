@@ -15,6 +15,7 @@ DET002     wall-clock reads outside runner//PhaseTimer → stable digests
 DET003     unsorted set iteration → canonical JSON / JSONL ordering
 DET004     float ``==``/``!=`` → Lemma 1 / Erlang boundary robustness
 DET005     filesystem-order iteration → reproducible file discovery
+DET006     raw clock/random in serve//simulation/ → injected seams only
 ERR001     broad ``except`` swallowing → the repro.errors taxonomy
 PCK001     lambdas/closures into spawn multiprocessing → picklable tasks
 NUM001     unguarded division/log/sqrt in queueing/sizing hot paths
@@ -314,6 +315,53 @@ class FilesystemOrder(Rule):
             "filesystem-order iteration; wrap the listing in sorted() "
             "for reproducible discovery",
         )
+
+
+# --------------------------------------------------------------------- DET006
+
+
+#: Raw timing primitives the control plane must reach only through a
+#: :class:`repro.serve.clock.Clock` — the DET002 set plus ``time.sleep``
+#: (pacing through the seam is what makes ManualClock tests possible).
+_CONTROL_CLOCK_CALLS = _CLOCK_CALLS | {"time.sleep"}
+
+
+class ControlPlaneSeamBypass(Rule):
+    code = "DET006"
+    name = "control-plane-seam-bypass"
+    summary = "serve//simulation/ code must use the injected Clock/rng seams"
+    rationale = (
+        "The online control plane's digests are bit-compared across "
+        "crash/restore; a raw time.time()/datetime.now()/time.sleep() or "
+        "any stdlib-random call (seeded or not) outside the Clock and "
+        "seeded-generator seams makes live state diverge from its replay."
+    )
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.control_plane
+
+    def visit_Call(self, node: ast.Call, walk) -> None:
+        qualified = walk.ctx.resolve(node.func)
+        if qualified is None:
+            return
+        if qualified in _CONTROL_CLOCK_CALLS:
+            walk.report(
+                node,
+                f"raw timing call ({qualified}) in control-plane code; "
+                "inject a repro.serve.clock.Clock and use "
+                "now()/monotonic()/sleep()",
+            )
+            return
+        if qualified == "random.Random" or (
+            qualified.startswith("random.")
+            and qualified.split(".", 1)[1] in _STDLIB_RANDOM_GLOBALS
+        ):
+            walk.report(
+                node,
+                f"stdlib random call ({qualified}) in control-plane code; "
+                "randomness must come in through config-seeded generators "
+                "(numpy default_rng(seed)), never ad-hoc RNGs",
+            )
 
 
 # --------------------------------------------------------------------- ERR001
@@ -643,6 +691,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     UnsortedSetIteration,
     FloatEquality,
     FilesystemOrder,
+    ControlPlaneSeamBypass,
     BroadExceptSwallow,
     UnpicklableTask,
     UnguardedNumerics,
@@ -668,6 +717,7 @@ __all__ = [
     "UnsortedSetIteration",
     "FloatEquality",
     "FilesystemOrder",
+    "ControlPlaneSeamBypass",
     "BroadExceptSwallow",
     "UnpicklableTask",
     "UnguardedNumerics",

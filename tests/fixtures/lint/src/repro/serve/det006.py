@@ -1,0 +1,15 @@
+"""DET006: ad-hoc RNG and raw sleep inside the serve control plane.
+
+The RNG is seeded (so DET001 stays quiet) and ``time.sleep`` is not a
+DET002 clock read — exactly DET006 fires here.
+"""
+
+import random
+import time
+
+
+def jittered_backoff(attempt: int) -> float:
+    rng = random.Random(7)
+    delay = rng.uniform(0.0, 0.1) * attempt
+    time.sleep(delay)
+    return delay

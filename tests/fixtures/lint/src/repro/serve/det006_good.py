@@ -1,0 +1,9 @@
+"""DET006-clean: pacing and randomness arrive through injected seams."""
+
+from repro.serve.clock import Clock
+
+
+def paced_backoff(clock: Clock, rng, attempt: int) -> float:
+    delay = rng.uniform(0.0, 0.1) * attempt
+    clock.sleep(delay)
+    return delay

@@ -1,0 +1,121 @@
+"""Subprocess crash drills for ``repro serve``.
+
+A real daemon process is SIGKILLed mid-run — no atexit handlers, no
+graceful shutdown, possibly a torn journal tail — and a ``--restore``
+run over the same state directory must finish the stream and report the
+exact summary (chain digest included) of a never-interrupted reference
+run.  This is the end-to-end version of the in-process round-trip tests
+in ``test_serve.py``: it exercises the write-ahead ordering, fsync
+placement and torn-tail tolerance that only a hard kill can prove.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+TRACE_ARGS = ["--hours", "1", "--seed", "13", "--load", "0.8"]
+
+
+def serve_command(state_dir: Path, *extra: str) -> list[str]:
+    return [
+        sys.executable, "-m", "repro", "serve",
+        "--state-dir", str(state_dir), *TRACE_ARGS, *extra,
+    ]
+
+
+def serve_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def run_serve(state_dir: Path, *extra: str) -> dict:
+    result = subprocess.run(
+        serve_command(state_dir, *extra),
+        env=serve_env(), capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return json.loads(result.stdout)
+
+
+def journaled_ticks(state_dir: Path) -> int:
+    """Complete (newline-terminated) tick records durably on disk."""
+    journals = list(state_dir.glob("TICKS_*.jsonl"))
+    if not journals:
+        return 0
+    raw = journals[0].read_text(encoding="utf-8", errors="replace")
+    return sum(
+        1
+        for line in raw.split("\n")[:-1]
+        if line.strip() and '"kind":"header"' not in line
+    )
+
+
+def kill_after_ticks(state_dir: Path, min_ticks: int, timeout: float = 120.0):
+    """Start a paced daemon and SIGKILL it once >= min_ticks are journaled."""
+    process = subprocess.Popen(
+        serve_command(state_dir, "--tick-delay", "0.05", "--checkpoint-interval", "3"),
+        env=serve_env(), stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+    )
+    deadline = time.monotonic() + timeout
+    try:
+        while journaled_ticks(state_dir) < min_ticks:
+            if process.poll() is not None:
+                pytest.fail(
+                    "daemon exited before the kill: "
+                    + process.stderr.read().decode(errors="replace")
+                )
+            if time.monotonic() > deadline:
+                pytest.fail("timed out waiting for journal progress")
+            time.sleep(0.02)
+        process.kill()
+    finally:
+        process.wait()
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """Summary of an uninterrupted run over the same trace and config."""
+    return run_serve(
+        tmp_path_factory.mktemp("ref"), "--checkpoint-interval", "3"
+    )
+
+
+@pytest.mark.parametrize("kill_at", [1, 4, 9])
+def test_sigkill_then_restore_is_bit_identical(tmp_path, reference, kill_at):
+    kill_after_ticks(tmp_path, kill_at)
+    survived = journaled_ticks(tmp_path)
+    assert survived >= kill_at
+    summary = run_serve(tmp_path, "--restore", "--checkpoint-interval", "3")
+    assert summary["ticks"] == reference["ticks"]
+    assert summary == reference, (
+        f"restore after SIGKILL at >={survived} journaled ticks diverged"
+    )
+
+
+def test_restore_flag_required_after_crash(tmp_path):
+    kill_after_ticks(tmp_path, 2)
+    result = subprocess.run(
+        serve_command(tmp_path),
+        env=serve_env(), capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 1
+    assert "--restore" in result.stderr
+
+
+def test_double_restore_is_idempotent(tmp_path, reference):
+    kill_after_ticks(tmp_path, 3)
+    first = run_serve(tmp_path, "--restore", "--checkpoint-interval", "3")
+    # The first restore ran to stream end; a second restore has nothing
+    # left to apply and must report the same terminal summary.
+    second = run_serve(tmp_path, "--restore", "--checkpoint-interval", "3")
+    assert first == reference
+    assert second == reference

@@ -64,6 +64,7 @@ class TestBadCorpusTriggersEveryRule:
             ("src/repro/bad/det003.py", "DET003"),
             ("src/repro/bad/det004.py", "DET004"),
             ("src/repro/bad/det005.py", "DET005"),
+            ("src/repro/serve/det006.py", "DET006"),
             ("src/repro/bad/err001.py", "ERR001"),
             ("src/repro/bad/pck001.py", "PCK001"),
             ("src/repro/bad/api001.py", "API001"),
@@ -97,6 +98,7 @@ class TestGoodCorpusIsClean:
             "src/repro/good/det003.py",
             "src/repro/good/det004.py",
             "src/repro/good/det005.py",
+            "src/repro/serve/det006_good.py",
             "src/repro/good/err001.py",
             "src/repro/good/pck001.py",
             "src/repro/good/api001.py",
@@ -117,6 +119,20 @@ class TestGoodCorpusIsClean:
         outside = engine.lint_source("src/repro/resilience/det002.py", source)
         assert inside == []
         assert {f.code for f in outside} == {"DET002"}
+
+    def test_det006_is_scoped_to_the_control_plane(self):
+        """Same source: flags in serve/ and simulation/, not elsewhere,
+        and never in the seam files themselves."""
+        source = Path(FIXTURE_ROOT, "src/repro/serve/det006.py").read_text()
+        engine = LintEngine()
+        serve = engine.lint_source("src/repro/serve/backoff.py", source)
+        simulation = engine.lint_source("src/repro/simulation/pacing.py", source)
+        elsewhere = engine.lint_source("src/repro/trace/backoff.py", source)
+        seam = engine.lint_source("src/repro/serve/clock.py", source)
+        assert {f.code for f in serve} == {"DET006"}
+        assert {f.code for f in simulation} == {"DET006"}
+        assert "DET006" not in {f.code for f in elsewhere}
+        assert "DET006" not in {f.code for f in seam}
 
     def test_num001_only_fires_in_hot_paths(self):
         source = Path(FIXTURE_ROOT, "src/repro/queueing/num001.py").read_text()

@@ -31,6 +31,7 @@ from repro.runner import (
     baseline_payload,
     canonical_json,
     journal_path,
+    suite_run_id,
 )
 
 #: One tiny LP solve — the cheapest spawnable unit of real work.
@@ -125,7 +126,11 @@ class TestSupervisorRun:
         assert report.quarantined == ()
         assert report["relax_tiny"].attempts == 1
         assert report["relax_tiny"].digest() == tiny_digest()
-        assert journal_path("unit", tmp_path).exists()
+        # The journal path now carries the suite's run id.
+        assert supervisor.journal is not None
+        assert supervisor.journal.path.exists()
+        assert supervisor.journal.path.name.startswith("JOURNAL_unit_")
+        assert not journal_path("unit", tmp_path).exists()
 
     def test_transient_raise_retried_with_identical_digest(self, tmp_path):
         scenario = transient_fault_scenario(
@@ -204,10 +209,22 @@ class TestJournalResume:
         suite = [TINY, TINY2]
         reference = ScenarioRunner("ref").run(suite, workers=1).digests()
 
-        # "Interrupted" run: only the first scenario completed before the
-        # (simulated) kill.
-        first = ScenarioSupervisor("bench", FAST, journal_dir=tmp_path)
-        first.run([TINY])
+        # "Interrupted" run: only the first scenario's entry made it into
+        # the *full suite's* journal before the (simulated) kill — the
+        # journal path and header carry the run id of the whole suite.
+        run_id = suite_run_id("bench", suite)
+        journal = Journal(journal_path("bench", tmp_path, run_id), run_id)
+        done = ScenarioRunner("bench").run([TINY], workers=1)[TINY.name]
+        journal.append(
+            JournalEntry(
+                suite="bench",
+                scenario=TINY,
+                summary=done.summary,
+                phases=done.phases,
+                wall_seconds=done.wall_seconds,
+                attempts=1,
+            )
+        )
 
         resumed = ScenarioSupervisor("bench", FAST, journal_dir=tmp_path)
         report = resumed.run(suite, resume=True)
@@ -280,6 +297,26 @@ class TestJournal:
         journal.path.write_text("\n".join(lines) + "\n")
         with pytest.raises(JournalCorrupt, match="line 1"):
             journal.load()
+
+    def test_run_id_mismatch_refused_on_append_and_load(self, tmp_path):
+        run_id = "aaa111bbb222"
+        journal = Journal(journal_path("unit", tmp_path, run_id), run_id)
+        journal.append(_entry("s0"))
+        imposter = Journal(journal.path, "cccdddeeefff")
+        with pytest.raises(JournalCorrupt, match="refusing to mix runs"):
+            imposter.append(_entry("s1"))
+        with pytest.raises(JournalCorrupt, match="refusing to mix runs"):
+            imposter.load()
+        # The rightful owner still appends and loads fine.
+        journal.append(_entry("s1"))
+        assert [e.scenario.name for e in journal.load()] == ["s0", "s1"]
+
+    def test_headerless_file_refused_when_run_id_expected(self, tmp_path):
+        legacy = Journal(journal_path("unit", tmp_path))
+        legacy.append(_entry("s0"))
+        strict = Journal(legacy.path, "aaa111bbb222")
+        with pytest.raises(JournalCorrupt, match="no run-id header"):
+            strict.append(_entry("s1"))
 
     def test_mid_file_garbage_raises_journal_corrupt(self, tmp_path):
         journal = Journal(journal_path("unit", tmp_path))
