@@ -1,57 +1,84 @@
-"""Secondary scenario: the Google-like 10-type fleet as the simulation target.
+"""Google-trace-scale point: the sharded fleet simulation.
 
-The paper's evaluation fleet is Table II, but its *analysis* cluster has 10
-platform types (Fig. 5).  This bench runs the policy comparison directly on
-that census (with synthesized Energy-Star-style power models), checking the
-pipeline is not specialized to the 4-model fleet: constraints stay
-meaningful (trace platform ids == fleet platform ids) and the policies
-still order sanely.
+The paper's analysis cluster is ~12,000 machines over a 29-day trace
+(Section III).  A single-process replay cannot hold that workload, so this
+bench runs it through :mod:`repro.fleet`: the census partitions into
+machine-type cells, each cell replays its routed task stream in its own
+worker fed by the constant-memory streaming generator, and the per-shard
+summaries merge into one deterministic fleet digest.
+
+The default ``REPRO_BENCH_FLEET_*`` point is the full 12k-machine census
+over a 20 h horizon — a documented ~35x time scale-down from the 696 h
+trace that still emits >1M tasks (``REPRO_BENCH_FLEET_HOURS=696`` replays
+the full horizon).  CI shrinks the point through the same knobs.
+
+The run is recorded as ``BENCH_google_fleet.json`` at the repo root —
+wall time, per-shard phase timings, the peak-RSS high-water mark and the
+merged fleet digest — which ``scripts/check_bench_regression.py`` gates
+(wall-time shares, RSS shares and the absolute RSS ceiling).
 """
 
+import os
+
 from repro.analysis import ascii_table
-from repro.energy import google_like_energy_models
-from repro.simulation import HarmonyConfig, run_policy_comparison
-from repro.simulation.harmony import energy_savings
-from repro.trace import SyntheticTraceConfig, generate_trace, google_like_machine_census
+from repro.fleet import FleetConfig, run_fleet, write_fleet_baseline
+from repro.runner import (
+    bench_fleet_shards,
+    google_fleet_trace_params,
+    repo_root,
+    trace_config_from_params,
+)
+
+WORKERS = 4
 
 
-def test_google_fleet_comparison(benchmark):
-    census = google_like_machine_census(400)
-    fleet = google_like_energy_models(census)
-    trace = generate_trace(
-        SyntheticTraceConfig(
-            horizon_hours=2.0, seed=11, total_machines=400, load_factor=0.5
-        )
+def test_google_fleet_sharded(benchmark):
+    trace_params = google_fleet_trace_params()
+    config = FleetConfig(shards=bench_fleet_shards())
+
+    fleet = benchmark.pedantic(
+        lambda: run_fleet(trace_params, config, workers=WORKERS),
+        rounds=1,
+        iterations=1,
     )
-    config = HarmonyConfig(fleet=fleet, predictor="ewma")
-    results = run_policy_comparison(trace, config, policies=("baseline", "cbs"))
 
-    savings = benchmark.pedantic(lambda: energy_savings(results), rounds=1, iterations=1)
+    report = fleet.report
     rows = [
         [
-            policy,
-            f"{r.energy_kwh:.1f}",
-            f"{r.total_cost:.2f}",
-            f"{r.metrics.mean_active_machines():.1f}",
-            r.metrics.num_unscheduled,
-            f"{savings[policy]:+.1%}",
+            r.name,
+            r.summary["shard"]["machines"],
+            r.summary["shard"]["tasks_routed"],
+            f"{r.wall_seconds:.2f}s",
+            f"{r.rss_peak_mb:.0f} MiB" if r.rss_peak_mb is not None else "-",
         ]
-        for policy, r in results.items()
+        for r in report
     ]
-    print("\n=== Policy comparison on the 10-type Google-like fleet ===")
     print(
-        ascii_table(
-            ["policy", "kWh", "total $", "mean machines", "unscheduled",
-             "vs baseline"],
-            rows,
-        )
+        f"\n=== sharded fleet — {fleet.shards} shard(s), {WORKERS} worker(s) "
+        f"on {os.cpu_count()} core(s) ==="
     )
+    print(ascii_table(["shard", "machines", "tasks", "wall", "peak rss"], rows))
+    print(f"fleet digest {fleet.digest}")
 
-    for policy, result in results.items():
-        # The pipeline serves the bulk of the workload on this fleet too.
-        assert result.metrics.num_scheduled > 0.80 * trace.num_tasks, policy
-        assert result.energy_kwh > 0
-    # Ten platform types flow through the LP (M=10) without issue.
-    cbs = results["cbs"]
-    assert len(cbs.decisions) > 0
-    assert set(cbs.decisions[-1].active) == {m.platform_id for m in fleet}
+    # Every shard completed; a partial merge would be a bench failure.
+    assert not fleet.partial
+    assert fleet.digest is not None
+    merged = fleet.merged
+
+    # The merge covers the whole census and every emitted task exactly once.
+    census = trace_config_from_params(trace_params).census()
+    assert merged["shards"]["machines"] == sum(m.count for m in census)
+    assert merged["tasks_submitted"] == sum(
+        r.summary["shard"]["tasks_routed"] for r in report
+    )
+    assert merged["tasks_submitted"] == report.results[0].summary["shard"][
+        "tasks_seen"
+    ]
+
+    # The fleet serves the bulk of the workload at the bench load point.
+    assert merged["tasks_scheduled"] > 0.5 * merged["tasks_submitted"]
+    assert merged["energy_kwh"] > 0
+
+    # Perf + memory baseline: the repo's recorded Google-scale trajectory.
+    path = write_fleet_baseline(fleet, trace_params, config, repo_root())
+    print(f"wrote {path}")

@@ -1,13 +1,20 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_scalability.json against the committed baseline.
+"""Compare a fresh BENCH_<suite>.json against the committed baseline.
 
-CI's perf gate: after regenerating the scalability suite, this script
-fails the build when
+CI's perf + memory gate: after regenerating a suite, this script fails
+the build when
 
 - a scenario's share of the suite's total wall time regressed by more
   than ``--max-regression`` (default 25%) relative to the committed
   baseline — shares, not absolute seconds, so the gate is stable across
   runner hardware;
+- a scenario's share of the suite's summed peak RSS regressed the same
+  way (same limit, same rationale) — scenarios without RSS data on
+  either side are skipped, so pre-RSS baselines stay comparable;
+- the run's ``peak_rss_mb`` high-water mark grew past the baseline's by
+  more than ``--max-regression``, or exceeds the absolute
+  ``--rss-ceiling-mb`` (when given) — the committed memory envelope of
+  the Google-trace-scale fleet bench;
 - the paired replay scenarios (``replay_object`` / ``replay_columnar``)
   disagree on their summary digest — the columnar determinism contract,
   checked on every gate run;
@@ -34,12 +41,27 @@ from pathlib import Path
 #: scheduler hiccup would flap the gate.
 MIN_GATED_WALL_S = 0.5
 
+#: Scenarios (and run peaks) below this resident size are exempt from the
+#: RSS checks: a spawn worker that merely imports the simulator sits at
+#: ~110-120 MiB (interpreter + numpy/scipy), so readings down there are
+#: all import baseline — which moves with toolchain versions, not with
+#: our code — and their shares are meaninglessly uniform.
+MIN_GATED_RSS_MB = 192.0
+
 REPLAY_OBJECT = "replay_object"
 REPLAY_COLUMNAR = "replay_columnar"
 
 
 def _scenario_walls(report: dict) -> dict[str, float]:
     return {s["name"]: float(s["wall_s"]) for s in report.get("scenarios", [])}
+
+
+def _scenario_rss(report: dict) -> dict[str, float]:
+    return {
+        s["name"]: float(s["rss_peak_mb"])
+        for s in report.get("scenarios", [])
+        if s.get("rss_peak_mb") is not None
+    }
 
 
 def _scenario_digests(report: dict) -> dict[str, str]:
@@ -61,6 +83,7 @@ def compare_reports(
     fresh: dict,
     max_regression: float = 0.25,
     min_speedup: float | None = None,
+    rss_ceiling_mb: float | None = None,
 ) -> list[str]:
     """All gate violations of ``fresh`` against ``baseline`` (empty = pass)."""
     problems: list[str] = []
@@ -86,6 +109,52 @@ def compare_reports(
                     f"{base_share:.1%} -> {fresh_share:.1%} "
                     f"(limit +{max_regression:.0%})"
                 )
+
+    # Peak-RSS share gate — the memory mirror of the wall-share gate.
+    # Skips silently when either side predates RSS recording.
+    base_rss = _scenario_rss(baseline)
+    fresh_rss = _scenario_rss(fresh)
+    rss_common = sorted(set(base_rss) & set(fresh_rss))
+    base_rss_total = sum(base_rss[name] for name in rss_common)
+    fresh_rss_total = sum(fresh_rss[name] for name in rss_common)
+    if base_rss_total > 0 and fresh_rss_total > 0:
+        for name in rss_common:
+            if (
+                base_rss[name] < MIN_GATED_RSS_MB
+                or fresh_rss[name] < MIN_GATED_RSS_MB
+            ):
+                continue
+            base_share = base_rss[name] / base_rss_total
+            fresh_share = fresh_rss[name] / fresh_rss_total
+            if fresh_share > base_share * (1.0 + max_regression):
+                problems.append(
+                    f"{name}: peak-RSS share regressed "
+                    f"{base_share:.1%} -> {fresh_share:.1%} "
+                    f"(limit +{max_regression:.0%})"
+                )
+
+    base_peak = baseline.get("peak_rss_mb")
+    fresh_peak = fresh.get("peak_rss_mb")
+    if (
+        base_peak is not None
+        and fresh_peak is not None
+        and float(base_peak) >= MIN_GATED_RSS_MB
+        and float(fresh_peak) > float(base_peak) * (1.0 + max_regression)
+    ):
+        problems.append(
+            f"run peak RSS regressed {float(base_peak):.0f} MiB -> "
+            f"{float(fresh_peak):.0f} MiB (limit +{max_regression:.0%})"
+        )
+    if rss_ceiling_mb is not None:
+        if fresh_peak is None:
+            problems.append(
+                "cannot check RSS ceiling: fresh run recorded no peak_rss_mb"
+            )
+        elif float(fresh_peak) > rss_ceiling_mb:
+            problems.append(
+                f"run peak RSS {float(fresh_peak):.0f} MiB exceeds ceiling "
+                f"{rss_ceiling_mb:.0f} MiB"
+            )
 
     digests = _scenario_digests(fresh)
     obj_digest = digests.get(REPLAY_OBJECT)
@@ -136,6 +205,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="required intra-run columnar speedup (off when omitted)",
     )
+    parser.add_argument(
+        "--rss-ceiling-mb",
+        type=float,
+        default=None,
+        help="absolute peak-RSS ceiling for the fresh run (off when omitted)",
+    )
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())
@@ -148,11 +223,16 @@ def main(argv: list[str] | None = None) -> int:
     if baseline_speedup is not None:
         print(f"columnar replay speedup (baseline):  {baseline_speedup:.2f}x")
 
+    fresh_peak = fresh.get("peak_rss_mb")
+    if fresh_peak is not None:
+        print(f"peak RSS (fresh run): {float(fresh_peak):.0f} MiB")
+
     problems = compare_reports(
         baseline,
         fresh,
         max_regression=args.max_regression,
         min_speedup=args.min_speedup,
+        rss_ceiling_mb=args.rss_ceiling_mb,
     )
     if problems:
         for problem in problems:

@@ -41,6 +41,15 @@ bench
     to the run, exercising the data-plane hardening layer.  With
     ``--engine both`` every engine-aware scenario runs once per replay
     engine and the paired summary digests must match exactly.
+fleet
+    Run the sharded, crash-tolerant fleet simulation (:mod:`repro.fleet`)
+    at Google-trace scale: partition the census into machine-type cells,
+    stream-route-replay each cell in its own worker (optionally under the
+    crash-safe supervisor with timeouts, retries, journaled ``--resume``
+    and a fleet-wide memory ceiling), then merge the per-shard summaries
+    into one deterministic fleet digest.  ``repro bench google_fleet`` is
+    the same run priced at the ``REPRO_BENCH_FLEET_*`` bench point and
+    recorded as ``BENCH_google_fleet.json``.
 serve
     Run the crash-safe online provisioning daemon (:mod:`repro.serve`):
     a live arrival stream (trace replay, ``--follow`` file tail or
@@ -264,6 +273,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_baseline,
     )
 
+    if args.shards is not None and args.suite != "google_fleet":
+        print(
+            f"repro bench: --shards only applies to the google_fleet suite, "
+            f"not {args.suite!r} (hint: repro bench google_fleet --shards "
+            f"{args.shards})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.suite == "google_fleet":
+        return _cmd_bench_fleet(args)
     if args.workers < 1:
         print(
             f"repro bench: --workers must be >= 1, got {args.workers} "
@@ -394,6 +413,219 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"quarantined scenarios: {names}", file=sys.stderr)
             exit_code = 1
     return exit_code
+
+
+def _cmd_bench_fleet(args: argparse.Namespace) -> int:
+    """``repro bench google_fleet`` — the fleet run at the bench point."""
+    if args.verify:
+        print(
+            "repro bench: --verify doubles the Google-trace-scale fleet run; "
+            "merged-digest invariance is asserted by tests/test_fleet.py and "
+            "the fleet-chaos CI drill instead",
+            file=sys.stderr,
+        )
+        return 2
+    if args.corrupt:
+        print(
+            "repro bench: --corrupt applies to the trace_corruption suite, "
+            "not google_fleet (hint: repro bench trace_corruption)",
+            file=sys.stderr,
+        )
+        return 2
+    return _fleet_run("repro bench", args)
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    return _fleet_run("repro fleet", args)
+
+
+def _fleet_run(prog: str, args: argparse.Namespace) -> int:
+    """Shared body of ``repro fleet`` and ``repro bench google_fleet``.
+
+    ``repro bench``'s namespace lacks the fleet-only knobs (policy,
+    predictor, fault injection, memory budget, ...), so those are read
+    with ``getattr`` defaults matching the ``repro fleet`` parser.
+    """
+    from repro.fleet import (
+        FleetConfig,
+        fleet_baseline_payload,
+        max_shards,
+        run_fleet,
+    )
+    from repro.resilience.scenarios import SCENARIOS
+    from repro.runner import (
+        SupervisorConfig,
+        bench_fleet_shards,
+        google_fleet_trace_params,
+        trace_config_from_params,
+    )
+
+    engine = getattr(args, "engine", None) or "columnar"
+    if engine == "both":
+        print(
+            f"{prog}: --engine both pairs engine-aware scenarios and only "
+            "applies to simulate-style suites; every fleet shard replays on "
+            "exactly one engine (hint: --engine object or --engine columnar)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers < 1:
+        print(
+            f"{prog}: --workers must be >= 1, got {args.workers} "
+            "(hint: --workers 1 runs shards in-process, serially)",
+            file=sys.stderr,
+        )
+        return 2
+    shards = args.shards if args.shards is not None else bench_fleet_shards()
+    if shards < 1:
+        print(
+            f"{prog}: --shards must be >= 1, got {shards} "
+            "(hint: --shards 1 replays the whole census as a single cell)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print(
+            f"{prog}: --timeout must be positive seconds, got {args.timeout}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.retries is not None and args.retries < 0:
+        print(
+            f"{prog}: --retries must be >= 0, got {args.retries}",
+            file=sys.stderr,
+        )
+        return 2
+    memory_ceiling = getattr(args, "memory_ceiling_mb", None)
+    memory_budget = getattr(args, "memory_budget_mb", None)
+    for flag, value in (
+        ("--memory-ceiling-mb", memory_ceiling),
+        ("--memory-budget-mb", memory_budget),
+    ):
+        if value is not None and value <= 0:
+            print(
+                f"{prog}: {flag} must be positive MiB, got {value}",
+                file=sys.stderr,
+            )
+            return 2
+    fault = getattr(args, "fault", None)
+    if fault is not None and fault not in SCENARIOS:
+        print(
+            f"{prog}: unknown fault scenario {fault!r} "
+            f"(hint: one of {', '.join(SCENARIOS)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    trace_params = google_fleet_trace_params()
+    for key in ("hours", "machines", "seed", "load"):
+        value = getattr(args, key, None)
+        if value is not None:
+            trace_params[key] = value
+    census = trace_config_from_params(trace_params).census()
+    if shards > max_shards(census):
+        print(
+            f"{prog}: --shards {shards} exceeds the {max_shards(census)} "
+            f"machine-type cells of this census; cells are machine-type "
+            f"granular (hint: --shards <= {max_shards(census)}, or grow "
+            "--machines)",
+            file=sys.stderr,
+        )
+        return 2
+
+    config = FleetConfig(
+        suite="google_fleet",
+        shards=shards,
+        policy=getattr(args, "policy", "cbs"),
+        engine=engine,
+        predictor=getattr(args, "predictor", "ewma"),
+        guard=bool(getattr(args, "guard", False)),
+        fault_scenario=fault,
+        fault_seed=int(getattr(args, "fault_seed", 0) or 0),
+        route_seed=int(getattr(args, "route_seed", 0) or 0),
+        progress_every=int(getattr(args, "progress_every", None) or 200_000),
+        memory_budget_mb=memory_budget,
+    )
+    supervised = (
+        args.supervise
+        or args.resume
+        or args.timeout is not None
+        or args.retries is not None
+        or memory_ceiling is not None
+    )
+    supervisor_config = None
+    if supervised:
+        supervisor_config = SupervisorConfig(
+            timeout_seconds=args.timeout,
+            max_attempts=(args.retries if args.retries is not None else 2) + 1,
+            memory_ceiling_mb=memory_ceiling,
+        )
+    fleet = run_fleet(
+        trace_params,
+        config,
+        workers=args.workers,
+        supervise=supervised,
+        resume=args.resume,
+        journal_dir=args.output,
+        supervisor_config=supervisor_config,
+        progress_dir=getattr(args, "progress_dir", None),
+    )
+
+    report = fleet.report
+    rows = [
+        [
+            r.name,
+            r.summary["shard"]["machines"],
+            r.summary["shard"]["tasks_routed"],
+            f"{r.wall_seconds:.3f}s",
+            f"{r.rss_peak_mb:.0f} MiB" if r.rss_peak_mb is not None else "-",
+        ]
+        for r in report
+    ]
+    for failure in report.quarantined:
+        rows.append(
+            [failure.name, "-", "-", f"QUARANTINED ({failure.kind})",
+             f"after {failure.attempts} attempt(s)"]
+        )
+    payload = fleet_baseline_payload(fleet, trace_params, config)
+    merged = fleet.merged
+    rows.append(
+        ["TOTAL",
+         merged["shards"]["machines"] if merged else "-",
+         merged["tasks_submitted"] if merged else "-",
+         f"{report.total_wall_seconds:.3f}s",
+         f"{payload['peak_rss_mb']:.0f} MiB" if "peak_rss_mb" in payload else "-"]
+    )
+    print(
+        ascii_table(
+            ["shard", "machines", "tasks", "wall", "peak rss"],
+            rows,
+            title=f"fleet {config.suite} — {shards} shard(s), "
+                  f"{args.workers} worker(s)"
+                  + (" [supervised]" if supervised else ""),
+        )
+    )
+    if merged is not None:
+        print(
+            f"merged: {merged['tasks_scheduled']}/{merged['tasks_submitted']} "
+            f"tasks scheduled, {merged['energy_kwh']:.1f} kWh, "
+            f"policy {merged['policy']}"
+        )
+        print(f"fleet digest {fleet.digest}")
+        if fleet.partial:
+            print(
+                "PARTIAL merge: missing shard(s) "
+                f"{merged['shards']['missing']}",
+                file=sys.stderr,
+            )
+    else:
+        print("no shards completed; nothing to merge", file=sys.stderr)
+
+    args.output.mkdir(parents=True, exist_ok=True)
+    path = args.output / f"BENCH_{config.suite}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+    return 1 if fleet.partial else 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -695,9 +927,16 @@ def build_parser() -> argparse.ArgumentParser:
             "robustness",
             "network_faults",
             "trace_corruption",
+            "google_fleet",
             "all",
         ),
-        help="which scenario suite to run",
+        help="which scenario suite to run ('all' excludes the "
+             "Google-trace-scale google_fleet suite; request it explicitly)",
+    )
+    bench.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="google_fleet only: machine-type cells to partition the census "
+             "into (default REPRO_BENCH_FLEET_SHARDS)",
     )
     bench.add_argument(
         "--engine", choices=("object", "columnar", "both"), default=None,
@@ -746,6 +985,93 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--load", type=float, default=None,
                        help="override REPRO_BENCH_LOAD for this run")
     bench.set_defaults(fn=cmd_bench)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="sharded, crash-tolerant fleet simulation with a merged digest",
+    )
+    fleet.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="machine-type cells to partition the census into "
+             "(default REPRO_BENCH_FLEET_SHARDS)",
+    )
+    fleet.add_argument("--workers", type=int, default=4,
+                       help="shard worker processes (1 = in-process serial)")
+    fleet.add_argument("--policy", choices=POLICIES, default="cbs")
+    fleet.add_argument(
+        "--engine", choices=("object", "columnar", "both"), default="columnar",
+        help="replay engine inside every shard ('both' is rejected with a "
+             "hint: it is a bench pairing construct)",
+    )
+    fleet.add_argument("--predictor", default="ewma")
+    fleet.add_argument(
+        "--guard", action="store_true",
+        help="wrap each shard's controller in the GuardedController",
+    )
+    fleet.add_argument(
+        "--fault", default=None, metavar="SCENARIO",
+        help="fault scenario injected into every shard (per-shard seed "
+             "offset keeps draws uncorrelated)",
+    )
+    fleet.add_argument("--fault-seed", type=int, default=0)
+    fleet.add_argument(
+        "--route-seed", type=int, default=0,
+        help="seed of the deterministic job-to-cell router",
+    )
+    fleet.add_argument("--hours", type=float, default=None,
+                       help="override REPRO_BENCH_FLEET_HOURS for this run")
+    fleet.add_argument("--machines", type=int, default=None,
+                       help="override REPRO_BENCH_FLEET_MACHINES for this run")
+    fleet.add_argument("--seed", type=int, default=None,
+                       help="override REPRO_BENCH_SEED for this run")
+    fleet.add_argument("--load", type=float, default=None,
+                       help="override REPRO_BENCH_FLEET_LOAD for this run")
+    fleet.add_argument(
+        "--supervise", action="store_true",
+        help="run shards under the crash-safe supervisor (respawn, "
+             "deterministic backoff, quarantine, suite journal)",
+    )
+    fleet.add_argument(
+        "--resume", action="store_true",
+        help="replay JOURNAL_google_fleet.jsonl and only execute shards it "
+             "is missing; implies --supervise",
+    )
+    fleet.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard wall-clock budget per attempt (straggler guard); "
+             "implies --supervise",
+    )
+    fleet.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retries per failing shard before quarantine "
+             "(default 2 under supervision); implies --supervise",
+    )
+    fleet.add_argument(
+        "--memory-ceiling-mb", type=float, default=None, metavar="MIB",
+        help="fleet-wide RSS ceiling; the supervisor defers shard spawns "
+             "while the coordinator+workers tree sits above the watermark; "
+             "implies --supervise",
+    )
+    fleet.add_argument(
+        "--memory-budget-mb", type=float, default=None, metavar="MIB",
+        help="per-shard-worker RSS budget; a shard that exceeds it fails "
+             "cleanly (and quarantines into a partial merge) instead of "
+             "OOM-killing the host",
+    )
+    fleet.add_argument(
+        "--progress-every", type=int, default=None, metavar="TASKS",
+        help="streamed tasks between per-shard progress checkpoints and "
+             "memory checks (default 200000)",
+    )
+    fleet.add_argument(
+        "--progress-dir", type=Path, default=None,
+        help="directory for per-shard SHARD_<suite>_<i>.jsonl progress "
+             "journals (default: none)",
+    )
+    fleet.add_argument("--output", type=Path, default=Path("."),
+                       help="directory for BENCH_google_fleet.json and the "
+                            "suite journal")
+    fleet.set_defaults(fn=cmd_fleet)
 
     serve = subparsers.add_parser(
         "serve", help="run the crash-safe online provisioning daemon"

@@ -1,0 +1,140 @@
+"""Deterministic cluster partitioning and task routing for fleet runs.
+
+The fleet model is *defined* as a cell-partitioned simulation: the machine
+census splits into disjoint machine-type cells, and every task is routed
+to exactly one cell by a pure function of ``(route_seed, job_id)`` and the
+task's placement feasibility.  Because both the partition and the routing
+depend only on picklable inputs — never on execution order, worker count
+or timing — every shard's sub-trace is reproducible in isolation, which is
+what lets a SIGKILLed shard worker retry from scratch to the same digest.
+
+Routing keeps jobs intact (all tasks of a job share size and constraints,
+hence eligibility, hence the hash draw) and weights eligible cells by the
+CPU capacity that can actually host the task, so load lands roughly where
+an unsharded scheduler could have placed it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.trace.schema import MachineType, Task
+
+
+@dataclass(frozen=True)
+class ShardCell:
+    """One disjoint slice of the machine census."""
+
+    index: int
+    machine_types: tuple[MachineType, ...]
+
+    @property
+    def platforms(self) -> tuple[int, ...]:
+        return tuple(m.platform_id for m in self.machine_types)
+
+    @property
+    def machines(self) -> int:
+        return sum(m.count for m in self.machine_types)
+
+    @property
+    def cpu_capacity(self) -> float:
+        return sum(m.cpu_capacity * m.count for m in self.machine_types)
+
+
+def max_shards(census: tuple[MachineType, ...]) -> int:
+    """Cells are machine-type-granular, so at most one per platform type."""
+    return len(census)
+
+
+def partition_census(
+    census: tuple[MachineType, ...], shards: int
+) -> tuple[ShardCell, ...]:
+    """Split the census into ``shards`` disjoint, capacity-balanced cells.
+
+    Greedy longest-processing-time assignment on total CPU capacity:
+    platform types are placed heaviest-first onto the currently lightest
+    cell.  All ties break on (platform id, cell index), so the partition
+    is a pure function of (census, shards).
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards > len(census):
+        raise ValueError(
+            f"shards must be <= the {len(census)} machine-type cells, got {shards}"
+        )
+    ordered = sorted(
+        census,
+        key=lambda m: (-m.cpu_capacity * m.count, m.platform_id),
+    )
+    loads = [0.0] * shards
+    members: list[list[MachineType]] = [[] for _ in range(shards)]
+    for machine in ordered:
+        lightest = min(range(shards), key=lambda i: (loads[i], i))
+        members[lightest].append(machine)
+        loads[lightest] += machine.cpu_capacity * machine.count
+    return tuple(
+        ShardCell(
+            index=i,
+            machine_types=tuple(
+                sorted(members[i], key=lambda m: m.platform_id)
+            ),
+        )
+        for i in range(shards)
+    )
+
+
+def _route_fraction(route_seed: int, job_id: int) -> float:
+    """Uniform [0, 1) draw from SHA-256 — no RNG state, order-free."""
+    digest = hashlib.sha256(f"{route_seed}:{job_id}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class TaskRouter:
+    """Routes tasks to cells; memoizes eligibility per job signature.
+
+    Eligibility and weights depend only on the task's ``(cpu, memory,
+    allowed_platforms)`` signature — shared by all tasks of a job — so the
+    per-signature cell weights are computed once.  A task no cell can host
+    falls back to the highest-capacity cell, where it goes unscheduled
+    exactly as it would have fleet-wide.
+    """
+
+    def __init__(self, cells: tuple[ShardCell, ...], route_seed: int = 0) -> None:
+        self.cells = cells
+        self.route_seed = route_seed
+        self._fallback = max(
+            range(len(cells)), key=lambda i: (cells[i].cpu_capacity, -i)
+        )
+        self._weights: dict[tuple, tuple[float, ...]] = {}
+
+    def _cell_weights(self, task: Task) -> tuple[float, ...]:
+        key = (task.cpu, task.memory, task.allowed_platforms)
+        cached = self._weights.get(key)
+        if cached is None:
+            cached = tuple(
+                sum(
+                    m.cpu_capacity * m.count
+                    for m in cell.machine_types
+                    if task.fits_on(m)
+                )
+                for cell in self.cells
+            )
+            self._weights[key] = cached
+        return cached
+
+    def route(self, task: Task) -> int:
+        """The cell index this task belongs to."""
+        if len(self.cells) == 1:
+            return 0
+        weights = self._cell_weights(task)
+        total = sum(weights)
+        if total <= 0:
+            return self._fallback
+        threshold = _route_fraction(self.route_seed, task.job_id) * total
+        cumulative = 0.0
+        for index, weight in enumerate(weights):
+            cumulative += weight
+            if threshold < cumulative:
+                return index
+        return len(self.cells) - 1

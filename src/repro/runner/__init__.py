@@ -16,6 +16,10 @@ parallel execution (see :meth:`ScenarioRunner.verify_determinism`).
 from repro.runner.defaults import (
     BenchDefaults,
     bench_defaults,
+    bench_fleet_hours,
+    bench_fleet_load,
+    bench_fleet_machines,
+    bench_fleet_shards,
     bench_hours,
     bench_load,
     bench_machines,
@@ -45,6 +49,7 @@ from repro.runner.runner import (
     summary_digest,
     write_baseline,
 )
+from repro.runner.rss import process_rss_mb, self_peak_rss_mb, tree_rss_mb
 from repro.runner.scenario import Scenario, get_task, register_task, registered_tasks
 from repro.runner.supervisor import (
     ScenarioSupervisor,
@@ -56,6 +61,7 @@ from repro.runner.suites import (
     ablation_scenarios,
     consolidation_scenarios,
     engine_pairs,
+    google_fleet_trace_params,
     horizon_scenarios,
     omega_scenarios,
     predictor_scenarios,
@@ -71,6 +77,10 @@ from repro.runner.suites import (
 __all__ = [
     "BenchDefaults",
     "bench_defaults",
+    "bench_fleet_hours",
+    "bench_fleet_load",
+    "bench_fleet_machines",
+    "bench_fleet_shards",
     "bench_hours",
     "bench_load",
     "bench_machines",
@@ -98,6 +108,9 @@ __all__ = [
     "read_journal_records",
     "suite_run_id",
     "write_journal_record",
+    "process_rss_mb",
+    "self_peak_rss_mb",
+    "tree_rss_mb",
     "Scenario",
     "get_task",
     "register_task",
@@ -106,6 +119,7 @@ __all__ = [
     "ablation_scenarios",
     "consolidation_scenarios",
     "engine_pairs",
+    "google_fleet_trace_params",
     "horizon_scenarios",
     "omega_scenarios",
     "predictor_scenarios",

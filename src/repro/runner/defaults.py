@@ -60,6 +60,37 @@ def bench_replay_load() -> float:
     return float(os.environ.get("REPRO_BENCH_REPLAY_LOAD", 0.85))
 
 
+def bench_fleet_hours() -> float:
+    """Fleet-bench trace horizon in hours (``REPRO_BENCH_FLEET_HOURS``).
+
+    The paper's Google trace spans 29 days (~696 h); the default 20 h
+    horizon is a documented ~35x time scale-down that still yields >1M
+    tasks at the full 12k-machine census (the calibrated arrival rate
+    drops slightly as the horizon grows, so task count is sublinear in
+    hours).  Set ``REPRO_BENCH_FLEET_HOURS=696`` to replay the full
+    paper horizon.
+    """
+    return float(os.environ.get("REPRO_BENCH_FLEET_HOURS", 20.0))
+
+
+def bench_fleet_machines() -> int:
+    """Fleet-bench machine census (``REPRO_BENCH_FLEET_MACHINES``).
+
+    Defaults to the paper's full ~12,000-machine cluster (Section III).
+    """
+    return int(os.environ.get("REPRO_BENCH_FLEET_MACHINES", 12_000))
+
+
+def bench_fleet_load() -> float:
+    """Fleet-bench trace load factor (``REPRO_BENCH_FLEET_LOAD``)."""
+    return float(os.environ.get("REPRO_BENCH_FLEET_LOAD", 0.55))
+
+
+def bench_fleet_shards() -> int:
+    """Fleet-bench shard count (``REPRO_BENCH_FLEET_SHARDS``)."""
+    return int(os.environ.get("REPRO_BENCH_FLEET_SHARDS", 4))
+
+
 @dataclass(frozen=True)
 class BenchDefaults:
     """One resolved snapshot of the bench parameter environment."""

@@ -177,6 +177,9 @@ class JournalEntry:
     phases: dict
     wall_seconds: float
     attempts: int
+    #: Worker high-water RSS in MiB; optional so pre-RSS journals (and
+    #: platforms without the reading) stay loadable under version 1.
+    rss_peak_mb: float | None = None
 
     def matches(self, scenario: Scenario, suite: str) -> bool:
         """Whether this entry is a completed run of exactly ``scenario``."""
@@ -194,11 +197,12 @@ class JournalEntry:
             phases=dict(self.phases),
             wall_seconds=self.wall_seconds,
             attempts=self.attempts,
+            rss_peak_mb=self.rss_peak_mb,
         )
 
     def record(self) -> dict:
         """The digestable line payload (everything but the digest)."""
-        return {
+        record = {
             "version": JOURNAL_VERSION,
             "suite": self.suite,
             "name": self.scenario.name,
@@ -209,6 +213,9 @@ class JournalEntry:
             "wall_s": round(self.wall_seconds, 6),
             "attempts": self.attempts,
         }
+        if self.rss_peak_mb is not None:
+            record["rss_peak_mb"] = round(self.rss_peak_mb, 2)
+        return record
 
 
 class Journal:
@@ -264,6 +271,11 @@ class Journal:
                     phases=payload["phases"],
                     wall_seconds=float(payload["wall_s"]),
                     attempts=int(payload["attempts"]),
+                    rss_peak_mb=(
+                        float(payload["rss_peak_mb"])
+                        if payload.get("rss_peak_mb") is not None
+                        else None
+                    ),
                 )
             )
         return entries

@@ -25,11 +25,18 @@ from pathlib import Path
 from time import perf_counter
 
 from repro.errors import NonFiniteSummary
+from repro.runner.rss import self_peak_rss_mb
 from repro.runner.scenario import Scenario
 
 
-def _execute(scenario: Scenario) -> tuple[str, dict, dict, float]:
-    """Worker body: run one scenario, time it, return plain picklables."""
+def _execute(scenario: Scenario) -> tuple[str, dict, dict, float, float | None]:
+    """Worker body: run one scenario, time it, return plain picklables.
+
+    The trailing element is the executing process's high-water RSS in MiB
+    (``None`` where the platform cannot report it).  In a spawned worker
+    that is a true per-scenario peak; inline (``workers=1``) it is the
+    host process's peak, which upper-bounds the scenario's.
+    """
     start = perf_counter()
     result = scenario.run()
     elapsed = perf_counter() - start
@@ -38,7 +45,13 @@ def _execute(scenario: Scenario) -> tuple[str, dict, dict, float]:
             f"task {scenario.task!r} must return a dict with a 'summary' "
             f"key, got {type(result).__name__}"
         )
-    return scenario.name, result["summary"], dict(result.get("phases", {})), elapsed
+    return (
+        scenario.name,
+        result["summary"],
+        dict(result.get("phases", {})),
+        elapsed,
+        self_peak_rss_mb(),
+    )
 
 
 def canonical_json(payload) -> str:
@@ -76,6 +89,10 @@ class ScenarioResult:
     #: ``BENCH_<suite>.json`` so a retried-then-resumed run stays
     #: byte-identical to an uninterrupted one.
     attempts: int = 1
+    #: High-water RSS (MiB) of the process that ran the scenario, when
+    #: the platform reports it.  A timing-class side channel: surfaced in
+    #: baselines and journals but never folded into the summary digest.
+    rss_peak_mb: float | None = None
 
     @property
     def name(self) -> str:
@@ -111,6 +128,10 @@ class RunnerReport:
     #: Scenarios that kept failing under supervision; empty on the plain
     #: (unsupervised) path, which raises on the first failure instead.
     quarantined: tuple[ScenarioFailure, ...] = ()
+    #: Coordinator-observed peak of (supervisor + live workers) current
+    #: RSS in MiB, sampled per supervision tick; ``None`` on the plain
+    #: path or where procfs is unavailable.
+    peak_rss_mb: float | None = None
 
     def __post_init__(self) -> None:
         by_name = {}
@@ -175,13 +196,17 @@ class ScenarioRunner:
                 raw = pool.map(_execute, scenarios)
         total = perf_counter() - start
 
-        by_name = {name: (summary, phases, wall) for name, summary, phases, wall in raw}
+        by_name = {
+            name: (summary, phases, wall, rss)
+            for name, summary, phases, wall, rss in raw
+        }
         results = tuple(
             ScenarioResult(
                 scenario=s,
                 summary=by_name[s.name][0],
                 phases=by_name[s.name][1],
                 wall_seconds=by_name[s.name][2],
+                rss_peak_mb=by_name[s.name][3],
             )
             for s in scenarios
         )
@@ -225,6 +250,8 @@ def _scenario_entry(result: ScenarioResult) -> dict:
         "phases": {k: round(v, 4) for k, v in sorted(result.phases.items())},
         "summary_digest": result.digest(),
     }
+    if result.rss_peak_mb is not None:
+        entry["rss_peak_mb"] = round(result.rss_peak_mb, 2)
     tasks = result.summary.get("tasks_submitted")
     if tasks is not None:
         entry["tasks"] = int(tasks)
@@ -255,6 +282,16 @@ def baseline_payload(
             for f in report.quarantined
         ],
     }
+    rss_readings = [
+        r.rss_peak_mb for r in report.results if r.rss_peak_mb is not None
+    ]
+    if report.peak_rss_mb is not None:
+        rss_readings.append(report.peak_rss_mb)
+    if rss_readings:
+        # Worker self-peaks bound any single scenario; the coordinator's
+        # tick-sampled tree peak bounds concurrent residency.  The max of
+        # the two is the run's best-known high-water mark.
+        payload["peak_rss_mb"] = round(max(rss_readings), 2)
     if compare_serial is not None:
         payload["serial_wall_s"] = round(compare_serial.total_wall_seconds, 4)
         payload["speedup_vs_serial"] = (

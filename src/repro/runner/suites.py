@@ -377,7 +377,33 @@ def engine_pairs(scenarios: list[Scenario]) -> list[tuple[str, str]]:
     ]
 
 
-#: Suite name -> builder, for the ``repro bench`` CLI.
+def google_fleet_trace_params() -> dict:
+    """Trace parameters of the sharded fleet bench (``REPRO_BENCH_FLEET_*``).
+
+    The Google-trace-scale point: the paper's full ~12k-machine census
+    over a horizon that emits >1M tasks, replayed by the sharded fleet
+    layer (:mod:`repro.fleet`) rather than a single process.  Separate
+    ``REPRO_BENCH_FLEET_*`` knobs so CI can shrink it independently.
+    """
+    from repro.runner.defaults import (
+        bench_fleet_hours,
+        bench_fleet_load,
+        bench_fleet_machines,
+    )
+
+    return {
+        "hours": bench_fleet_hours(),
+        "seed": bench_seed(),
+        "machines": bench_fleet_machines(),
+        "load": bench_fleet_load(),
+    }
+
+
+#: Suite name -> builder, for the ``repro bench`` CLI.  The sharded
+#: ``google_fleet`` suite is deliberately absent: it does not fit the
+#: plain scenario-list shape (it plans, fans out and *merges*), is priced
+#: at Google-trace scale, and so must be requested explicitly — see
+#: ``repro fleet`` / ``repro bench google_fleet``.
 SUITES = {
     "scalability": lambda defaults: scalability_scenarios(),
     "ablation": ablation_scenarios,

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import os
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -39,6 +40,7 @@ from pathlib import Path
 
 from repro.errors import ScenarioCrash, ScenarioError, ScenarioFailed, ScenarioTimeout
 from repro.runner.journal import Journal, JournalEntry, journal_path, suite_run_id
+from repro.runner.rss import tree_rss_mb
 from repro.runner.runner import (
     RunnerReport,
     ScenarioFailure,
@@ -70,6 +72,17 @@ class SupervisorConfig:
         Max relative jitter added to each delay.  The jitter value is
         derived from SHA-256 of ``"<scenario name>:<attempt>"`` — no
         ``random``, no clock — so reruns back off at identical offsets.
+    memory_ceiling_mb:
+        Soft cap on the run's resident memory (supervisor + live
+        workers), enforced as admission-control backpressure: while the
+        sampled process-tree RSS sits above
+        ``memory_watermark * memory_ceiling_mb`` and at least one worker
+        is in flight, no new workers are spawned.  Already-running
+        workers are never killed for memory — backpressure only delays
+        *new* streaming feeders, so results (and digests) are unchanged.
+        ``None`` disables the ceiling.
+    memory_watermark:
+        Fraction of the ceiling at which admission pauses.
     """
 
     timeout_seconds: float | None = None
@@ -78,6 +91,8 @@ class SupervisorConfig:
     backoff_factor: float = 2.0
     backoff_cap_seconds: float = 2.0
     jitter_fraction: float = 0.25
+    memory_ceiling_mb: float | None = None
+    memory_watermark: float = 0.9
 
     def __post_init__(self) -> None:
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
@@ -101,6 +116,14 @@ class SupervisorConfig:
         if not 0 <= self.jitter_fraction <= 1:
             raise ValueError(
                 f"jitter_fraction must be in [0, 1], got {self.jitter_fraction}"
+            )
+        if self.memory_ceiling_mb is not None and self.memory_ceiling_mb <= 0:
+            raise ValueError(
+                f"memory_ceiling_mb must be positive, got {self.memory_ceiling_mb}"
+            )
+        if not 0 < self.memory_watermark <= 1:
+            raise ValueError(
+                f"memory_watermark must be in (0, 1], got {self.memory_watermark}"
             )
 
 
@@ -176,6 +199,11 @@ class ScenarioSupervisor:
         self.resumed: list[str] = []
         #: Every per-attempt failure observed, for diagnostics.
         self.failure_log: list[ScenarioError] = []
+        #: Peak sampled (supervisor + workers) RSS over the most recent
+        #: :meth:`run`, MiB; ``None`` where procfs is unavailable.
+        self.peak_rss_mb: float | None = None
+        #: Ticks on which the memory watermark deferred a ready spawn.
+        self.deferred_spawns: int = 0
 
     # ------------------------------------------------------------------ run
 
@@ -204,6 +232,8 @@ class ScenarioSupervisor:
         self.executed = []
         self.resumed = []
         self.failure_log = []
+        self.peak_rss_mb = None
+        self.deferred_spawns = 0
 
         done: dict[str, ScenarioResult] = {}
         if resume:
@@ -228,6 +258,7 @@ class ScenarioSupervisor:
             results=results,
             total_wall_seconds=total,
             quarantined=failures,
+            peak_rss_mb=self.peak_rss_mb,
         )
 
     # ------------------------------------------------------------ internals
@@ -250,7 +281,15 @@ class ScenarioSupervisor:
                 delayed.remove(item)
                 pending.append((item[1], item[2]))
 
+            over_watermark = self._sample_memory(in_flight)
             while pending and len(in_flight) < workers:
+                if over_watermark and in_flight:
+                    # Backpressure: above the memory watermark, finish
+                    # what is running before admitting new feeders.  With
+                    # nothing in flight admission proceeds regardless —
+                    # deferring then would deadlock the run.
+                    self.deferred_spawns += 1
+                    break
                 scenario, attempt = pending.popleft()
                 in_flight.append(self._spawn(context, scenario, attempt))
 
@@ -262,13 +301,14 @@ class ScenarioSupervisor:
                 finished.append(flight)
                 kind, payload = outcome
                 if kind == "ok":
-                    name, summary, phases, wall = payload
+                    name, summary, phases, wall, rss_mb = payload
                     result = ScenarioResult(
                         scenario=flight.scenario,
                         summary=summary,
                         phases=phases,
                         wall_seconds=wall,
                         attempts=flight.attempt,
+                        rss_peak_mb=rss_mb,
                     )
                     done[name] = result
                     if self.journal is not None:
@@ -280,6 +320,7 @@ class ScenarioSupervisor:
                                 phases=result.phases,
                                 wall_seconds=result.wall_seconds,
                                 attempts=result.attempts,
+                                rss_peak_mb=result.rss_peak_mb,
                             )
                         )
                 else:
@@ -295,6 +336,29 @@ class ScenarioSupervisor:
                 wake = min(d[0] for d in delayed)
                 time.sleep(max(min(wake - time.monotonic(), 0.25), 0.0))
         return quarantined
+
+    def _sample_memory(self, in_flight: list[_InFlight]) -> bool:
+        """Sample the process tree's RSS; True when above the watermark.
+
+        Tracks the run-wide peak as a side effect.  Sampling only runs
+        when a ceiling is set or a worker is live — a serial resume pass
+        that replays the journal pays nothing.
+        """
+        ceiling = self.config.memory_ceiling_mb
+        if ceiling is None and not in_flight:
+            return False
+        pids = [os.getpid()] + [
+            f.process.pid for f in in_flight
+            if f.process.pid is not None and f.process.is_alive()
+        ]
+        observed = tree_rss_mb(pids)
+        if observed is None:
+            return False
+        if self.peak_rss_mb is None or observed > self.peak_rss_mb:
+            self.peak_rss_mb = observed
+        if ceiling is None:
+            return False
+        return observed >= self.config.memory_watermark * ceiling
 
     def _spawn(self, context, scenario: Scenario, attempt: int) -> _InFlight:
         parent_conn, child_conn = context.Pipe(duplex=False)

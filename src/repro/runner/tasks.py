@@ -363,6 +363,8 @@ def consolidation_task(params: dict) -> dict:
 
 
 # The worker-fault injection task ("transient_fault") lives with the fault
-# catalog; importing it here guarantees spawn workers — which only import
-# this module on a registry miss — see it too.
+# catalog, and the sharded-fleet task ("fleet_shard") with the fleet layer;
+# importing them here guarantees spawn workers — which only import this
+# module on a registry miss — see them too.
+import repro.fleet.tasks  # noqa: E402,F401
 import repro.resilience.scenarios  # noqa: E402,F401

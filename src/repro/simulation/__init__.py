@@ -45,6 +45,7 @@ from repro.simulation.harmony import (
     run_policy_comparison,
     energy_savings,
 )
+from repro.simulation.merge import fleet_digest, merge_shard_summaries
 
 __all__ = [
     "EventQueue",
@@ -77,4 +78,6 @@ __all__ = [
     "SimulationResult",
     "run_policy_comparison",
     "energy_savings",
+    "fleet_digest",
+    "merge_shard_summaries",
 ]

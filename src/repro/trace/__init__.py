@@ -19,8 +19,13 @@ from repro.trace.schema import (
 from repro.trace.generator import (
     SyntheticTraceConfig,
     PriorityGroupProfile,
+    TracePlan,
     generate_trace,
     google_like_machine_census,
+    plan_from_params,
+    plan_params,
+    plan_trace,
+    stream_trace,
 )
 from repro.trace.reader import save_trace, load_trace, save_tasks_csv, load_tasks_csv
 from repro.trace.sanitize import (
@@ -59,8 +64,13 @@ __all__ = [
     "NUM_PRIORITIES",
     "SyntheticTraceConfig",
     "PriorityGroupProfile",
+    "TracePlan",
     "generate_trace",
     "google_like_machine_census",
+    "plan_from_params",
+    "plan_params",
+    "plan_trace",
+    "stream_trace",
     "save_trace",
     "load_trace",
     "save_tasks_csv",

@@ -548,12 +548,31 @@ def _generate_tasks(
     horizon_s: float,
 ) -> list[Task]:
     """One full generation pass with the given (possibly rescaled) profiles."""
+    return [
+        task
+        for bin_tasks in _iter_task_bins(config, census, profiles, horizon_s)
+        for task in bin_tasks
+    ]
+
+
+def _iter_task_bins(
+    config: SyntheticTraceConfig,
+    census: tuple[MachineType, ...],
+    profiles: tuple[PriorityGroupProfile, ...],
+    horizon_s: float,
+):
+    """Yield each arrival bin's tasks, in generation order.
+
+    The single shared generation loop: :func:`_generate_tasks` flattens it
+    into the materialized list and :func:`stream_trace` consumes it bin by
+    bin, so the two paths draw the exact same random variates in the exact
+    same order from the one seeded generator.
+    """
     rng = np.random.default_rng(config.seed)
     bursts = _burst_windows(rng, config)
     constraint_pool = config.constraint_platforms or census
     catalogs = {profile.group: _SizeCatalog(profile, rng) for profile in profiles}
 
-    tasks: list[Task] = []
     job_id = 0
     bin_s = config.arrival_bin_seconds
     num_bins = int(math.ceil(horizon_s / bin_s))
@@ -564,6 +583,7 @@ def _generate_tasks(
         width = bin_end - bin_start
         if width <= 0:
             continue
+        bin_tasks: list[Task] = []
         multiplier = _rate_multiplier(bin_start + width / 2, config, bursts)
         for profile in profiles:
             lam = profile.job_rate_per_hour / 3600.0 * width * multiplier
@@ -601,7 +621,7 @@ def _generate_tasks(
                             profile.max_duration,
                         )
                     )
-                    tasks.append(
+                    bin_tasks.append(
                         Task(
                             job_id=job_id,
                             index=index,
@@ -614,8 +634,7 @@ def _generate_tasks(
                             allowed_platforms=allowed,
                         )
                     )
-
-    return tasks
+        yield bin_tasks
 
 
 def _calibrate_memory_ratio(
@@ -673,6 +692,224 @@ def _calibrate_memory_ratio(
             for t in tasks
         ]
     return tasks
+
+
+@dataclass(frozen=True)
+class TracePlan:
+    """Frozen calibration result for one ``(config)`` — the streaming recipe.
+
+    :func:`generate_trace` interleaves generation passes with load and
+    memory calibration; the streaming path splits that into a *planning*
+    stage (:func:`plan_trace`, constant-memory statistics passes that
+    reproduce the calibrated profiles and the memory-scale chain bit for
+    bit) and a single *emission* pass (:func:`stream_trace`).  The plan is
+    JSON-serializable (:func:`plan_params`) so a coordinator can calibrate
+    once and ship the recipe to shard workers, which then pay only the one
+    emission pass each.
+    """
+
+    #: Load-calibrated profiles (same values generate_trace converges to).
+    profiles: tuple[PriorityGroupProfile, ...]
+    #: Memory-calibration scale chain, applied sequentially (with clipping
+    #: between steps) to non-modal tasks — the exact float operations
+    #: :func:`_calibrate_memory_ratio` performs across its iterations.
+    memory_scales: tuple[float, ...]
+
+
+def _scaled_memory(
+    cpu: float,
+    memory: float,
+    scales: tuple[float, ...],
+    modal_points: frozenset[tuple[float, float]],
+) -> float:
+    """Replay the memory-calibration scale chain for one task.
+
+    Mirrors :func:`_calibrate_memory_ratio` exactly: each iteration checks
+    the task's *current* (cpu, memory) against the modal atoms before
+    scaling, and clips after each multiplication — so the chain is applied
+    step by step, not as one fused factor.
+    """
+    for scale in scales:
+        if (cpu, memory) in modal_points:
+            return memory
+        memory = float(np.clip(memory * scale, _MEMORY_GRID, 1.0))
+    return memory
+
+
+def _demand_stats(
+    config: SyntheticTraceConfig,
+    census: tuple[MachineType, ...],
+    profiles: tuple[PriorityGroupProfile, ...],
+    horizon_s: float,
+    memory_scales: tuple[float, ...] = (),
+    modal_points: frozenset[tuple[float, float]] = frozenset(),
+) -> tuple[float, float, int]:
+    """One constant-memory generation pass -> (cpu_p90, mem_p90, task count).
+
+    Accumulates the same 600 s binned delta arrays that ``realized_load``
+    and ``p90_series`` build inside :func:`generate_trace`, walking tasks
+    in generation order so the floating-point accumulation order — and
+    therefore every percentile — is bit-identical to the materialized
+    path's, without ever holding the task list.
+    """
+    bin_s = 600.0
+    num_bins = int(math.ceil(horizon_s / bin_s))
+    cpu_deltas = np.zeros(num_bins + 1)
+    mem_deltas = np.zeros(num_bins + 1)
+    count = 0
+    for bin_tasks in _iter_task_bins(config, census, profiles, horizon_s):
+        for t in bin_tasks:
+            count += 1
+            start = min(int(t.submit_time // bin_s), num_bins - 1)
+            end = min(int((t.submit_time + t.duration) // bin_s) + 1, num_bins)
+            cpu_deltas[start] += t.cpu
+            cpu_deltas[end] -= t.cpu
+            memory = _scaled_memory(t.cpu, t.memory, memory_scales, modal_points)
+            mem_deltas[start] += memory
+            mem_deltas[end] -= memory
+    if count == 0:
+        return 0.0, 0.0, 0
+    cpu_p90 = float(np.percentile(np.cumsum(cpu_deltas[:num_bins]), 90))
+    mem_p90 = float(np.percentile(np.cumsum(mem_deltas[:num_bins]), 90))
+    return cpu_p90, mem_p90, count
+
+
+def plan_trace(config: SyntheticTraceConfig | None = None) -> TracePlan:
+    """Run the generator's calibration in constant memory.
+
+    Reproduces :func:`generate_trace`'s load loop (up to four corrective
+    rate rescalings on the p90 CPU demand) and memory loop (up to three
+    non-modal memory rescalings on the p90 memory/cpu ratio) using
+    statistics passes instead of materialized task lists.  The resulting
+    :class:`TracePlan` drives :func:`stream_trace` to a stream that is
+    bit-identical to ``generate_trace(config).tasks``.
+    """
+    config = config or SyntheticTraceConfig()
+    census = config.census()
+    horizon_s = config.horizon_hours * 3600.0
+    total_cpu = sum(m.cpu_capacity * m.count for m in census)
+
+    profiles = config.scaled_profiles()
+    cpu_p90, mem_p90, count = _demand_stats(config, census, profiles, horizon_s)
+    for _ in range(4):
+        realized = (cpu_p90 / total_cpu) if count else 0.0
+        if realized <= 0:
+            break
+        error = abs(realized - config.load_factor) / config.load_factor
+        if error < 0.08:
+            break
+        correction = float(np.clip(config.load_factor / realized, 0.33, 3.0))
+        profiles = tuple(
+            PriorityGroupProfile(
+                **{
+                    **{f: getattr(p, f) for f in p.__dataclass_fields__},
+                    "job_rate_per_hour": p.job_rate_per_hour * correction,
+                }
+            )
+            for p in profiles
+        )
+        cpu_p90, mem_p90, count = _demand_stats(config, census, profiles, horizon_s)
+
+    memory_scales: list[float] = []
+    if count:
+        target = sum(p.memory_bias for p in profiles) / len(profiles)
+        modal_points = frozenset((p.mode_cpu, p.mode_memory) for p in profiles)
+        # The last load pass already measured the unscaled cpu/mem p90s, so
+        # the first memory iteration reuses them; each appended scale costs
+        # one further statistics pass.
+        for _ in range(3):
+            if cpu_p90 <= 0 or mem_p90 <= 0:
+                break
+            ratio = mem_p90 / cpu_p90
+            if abs(ratio - target) / target < 0.05:
+                break
+            memory_scales.append(float(np.clip(target / ratio, 0.25, 8.0)))
+            cpu_p90, mem_p90, _ = _demand_stats(
+                config, census, profiles, horizon_s,
+                tuple(memory_scales), modal_points,
+            )
+    return TracePlan(profiles=profiles, memory_scales=tuple(memory_scales))
+
+
+def stream_trace(
+    config: SyntheticTraceConfig | None = None,
+    plan: TracePlan | None = None,
+):
+    """Yield the trace's tasks in final order with constant memory.
+
+    The stream is bit-identical to ``generate_trace(config).tasks`` at the
+    same seed: one emission pass re-generates the calibrated task stream,
+    applies the plan's memory-scale chain and sorts each arrival bin's
+    buffer by ``(submit_time, job_id, index)``.  Per-bin sorting equals the
+    materialized global sort because bins cover disjoint submit-time
+    intervals and ``job_id`` increases monotonically across bins, which
+    breaks any tie exactly at a bin boundary.
+
+    Peak memory is one arrival bin's tasks (seconds of trace time), not the
+    whole horizon.  ``plan`` lets a coordinator calibrate once
+    (:func:`plan_trace`) and fan the recipe out to workers; omitted, it is
+    computed here first.
+    """
+    from dataclasses import replace
+
+    config = config or SyntheticTraceConfig()
+    if plan is None:
+        plan = plan_trace(config)
+    census = config.census()
+    horizon_s = config.horizon_hours * 3600.0
+    modal_points = frozenset((p.mode_cpu, p.mode_memory) for p in plan.profiles)
+    for bin_tasks in _iter_task_bins(config, census, plan.profiles, horizon_s):
+        if plan.memory_scales:
+            bin_tasks = [
+                replace(
+                    t,
+                    memory=_scaled_memory(
+                        t.cpu, t.memory, plan.memory_scales, modal_points
+                    ),
+                )
+                for t in bin_tasks
+            ]
+        bin_tasks.sort(key=lambda t: (t.submit_time, t.job_id, t.index))
+        yield from bin_tasks
+
+
+def plan_params(plan: TracePlan) -> dict:
+    """JSON-native encoding of a :class:`TracePlan` for scenario params.
+
+    Values survive ``canonical_json`` round-trips exactly (python floats
+    re-parse bit-identically from their repr), so journal resume's
+    params-equality check holds for plans shipped inside scenario params.
+    """
+    return {
+        "profiles": [
+            {
+                field_name: (
+                    value.name
+                    if isinstance(value, PriorityGroup)
+                    else list(value) if isinstance(value, tuple) else value
+                )
+                for field_name in p.__dataclass_fields__
+                for value in (getattr(p, field_name),)
+            }
+            for p in plan.profiles
+        ],
+        "memory_scales": list(plan.memory_scales),
+    }
+
+
+def plan_from_params(params: dict) -> TracePlan:
+    """Inverse of :func:`plan_params`."""
+    profiles = []
+    for raw in params["profiles"]:
+        kwargs = dict(raw)
+        kwargs["group"] = PriorityGroup[kwargs["group"]]
+        kwargs["priorities"] = tuple(int(p) for p in kwargs["priorities"])
+        kwargs["priority_weights"] = tuple(float(w) for w in kwargs["priority_weights"])
+        profiles.append(PriorityGroupProfile(**kwargs))
+    return TracePlan(
+        profiles=tuple(profiles),
+        memory_scales=tuple(float(s) for s in params["memory_scales"]),
+    )
 
 
 def _normalized(weights: tuple[float, ...]) -> np.ndarray:

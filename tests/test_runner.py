@@ -122,6 +122,30 @@ class TestBaseline:
         assert entry["task"] == "relax_solve"
         assert len(entry["summary_digest"]) == 64
 
+    def test_payload_schema_is_pinned(self):
+        """The exact key sets downstream consumers parse.
+
+        ``scripts/check_bench_regression.py`` and the committed
+        ``BENCH_*.json`` baselines read these keys; any addition or
+        rename must update the gate script and this pin together.
+        """
+        report = ScenarioRunner("unit").run(SMALL[:1], workers=1)
+        payload = baseline_payload(report, compare_serial=report)
+        assert set(payload) == {
+            "bench", "workers", "python", "platform", "cpu_count",
+            "total_wall_s", "sum_scenario_wall_s", "tasks_per_second",
+            "scenarios", "quarantined", "peak_rss_mb",
+            "serial_wall_s", "speedup_vs_serial", "summaries_match_serial",
+        }
+        entry = payload["scenarios"][0]
+        assert set(entry) == {
+            "name", "task", "wall_s", "phases", "summary_digest",
+            "rss_peak_mb",
+        }
+        # RSS rides along per scenario and as the run high-water mark.
+        assert entry["rss_peak_mb"] > 0
+        assert payload["peak_rss_mb"] >= entry["rss_peak_mb"]
+
     def test_compare_serial_fields(self):
         runner = ScenarioRunner("unit")
         serial = runner.run(SMALL, workers=1)

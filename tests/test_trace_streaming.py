@@ -1,0 +1,81 @@
+"""Differential tests: streaming trace generation vs the materialized oracle.
+
+The fleet layer (``repro.fleet``) relies on ``stream_trace`` producing the
+*exact* task sequence ``generate_trace`` materializes — same seeds, same
+calibration, same sort order — so every assertion here is bit-identity on
+the full ``Task`` dataclasses, not statistical closeness.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner import canonical_json
+from repro.trace import generate_trace, google_like_machine_census
+from repro.trace.generator import (
+    SyntheticTraceConfig,
+    plan_from_params,
+    plan_params,
+    plan_trace,
+    stream_trace,
+)
+
+# A spread of seeds, scales and loads: small/sparse traces exercise the
+# calibration break paths, the constrained config exercises
+# allowed-platform draws, and off-default loads force corrective rescales.
+CONFIGS = [
+    SyntheticTraceConfig(seed=7, total_machines=120, horizon_hours=1.0),
+    SyntheticTraceConfig(seed=11, total_machines=200, horizon_hours=2.0, load_factor=0.7),
+    SyntheticTraceConfig(seed=23, total_machines=150, horizon_hours=0.5, load_factor=0.3),
+    SyntheticTraceConfig(
+        seed=42,
+        total_machines=180,
+        horizon_hours=1.5,
+        constraint_platforms=google_like_machine_census(180)[:4],
+    ),
+]
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: f"seed{c.seed}")
+def test_stream_matches_materialized_bitwise(config):
+    materialized = list(generate_trace(config).tasks)
+    streamed = list(stream_trace(config))
+    assert len(streamed) == len(materialized)
+    # Frozen-dataclass equality covers every field (floats compare exact).
+    assert streamed == materialized
+
+
+def test_plan_matches_generate_trace_calibration():
+    config = SyntheticTraceConfig(seed=11, total_machines=200, horizon_hours=2.0, load_factor=0.7)
+    plan = plan_trace(config)
+    trace = generate_trace(config)
+    # The calibrated arrival rates differ from the analytic ones whenever a
+    # corrective rescale fired; the plan must land on the same floats.
+    realized_rates = [p.job_rate_per_hour for p in plan.profiles]
+    metadata_load = trace.metadata["load_factor"]
+    assert metadata_load == config.load_factor
+    streamed = list(stream_trace(config, plan=plan))
+    assert streamed == list(trace.tasks)
+    assert realized_rates == [p.job_rate_per_hour for p in plan.profiles]
+
+
+def test_plan_params_round_trip_is_exact():
+    config = SyntheticTraceConfig(seed=23, total_machines=150, horizon_hours=0.5, load_factor=0.3)
+    plan = plan_trace(config)
+    params = plan_params(plan)
+    # Must survive a JSON wire hop (journal lines, spawn-worker params).
+    wire = json.loads(canonical_json(params))
+    restored = plan_from_params(wire)
+    assert restored == plan
+    assert list(stream_trace(config, plan=restored)) == list(generate_trace(config).tasks)
+
+
+def test_stream_is_sorted_and_constant_order():
+    config = SyntheticTraceConfig(seed=7, total_machines=120, horizon_hours=1.0)
+    tasks = list(stream_trace(config))
+    keys = [(t.submit_time, t.job_id, t.index) for t in tasks]
+    assert keys == sorted(keys)
+    # Re-streaming from a fresh iterator reproduces the identical sequence.
+    assert list(stream_trace(config)) == tasks
