@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""CI gate: the harmonylint incremental cache must actually pay for itself.
+
+Runs the full lint twice against a fresh cache file — once cold (every
+file analyzed) and once warm (every file replayed from the cache) — and
+fails if:
+
+* the warm run re-analyzes anything (a cache key or invalidation bug),
+* the warm findings differ from the cold findings in any byte
+  (a replay fidelity bug), or
+* warm wall time exceeds ``--max-ratio`` (default 0.25) of cold wall
+  time (the cache no longer saves meaningful work).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_lint_cache.py [--root .] \
+        [--paths src tests] [--max-ratio 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.statics import lint_paths
+
+
+def timed_run(paths, root, cache):
+    start = time.perf_counter()
+    report = lint_paths(paths, root=root, cache=cache)
+    return report, time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument(
+        "--paths", nargs="+", default=["src", "tests"],
+        help="paths to lint, relative to --root",
+    )
+    parser.add_argument(
+        "--max-ratio", type=float, default=0.25,
+        help="maximum warm/cold wall-time ratio",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root).resolve()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = Path(tmp) / "lint-cache.json"
+        cold, cold_s = timed_run(args.paths, root, cache)
+        warm, warm_s = timed_run(args.paths, root, cache)
+
+    ratio = warm_s / cold_s if cold_s > 0 else 0.0
+    print(
+        f"cold: {cold_s:.3f}s over {cold.files_checked} file(s) "
+        f"({cold.cache_misses} analyzed)"
+    )
+    print(
+        f"warm: {warm_s:.3f}s ({warm.cache_hits} replayed, "
+        f"{warm.cache_misses} analyzed) — ratio {ratio:.2%}"
+    )
+
+    failures = []
+    if warm.cache_misses != 0:
+        failures.append(
+            f"warm run re-analyzed {warm.cache_misses} file(s); "
+            "expected a full cache replay"
+        )
+    cold_dicts = [f.to_dict() for f in cold.findings]
+    warm_dicts = [f.to_dict() for f in warm.findings]
+    if cold_dicts != warm_dicts:
+        failures.append("warm findings differ from cold findings")
+    if ratio > args.max_ratio:
+        failures.append(
+            f"warm/cold ratio {ratio:.2%} exceeds the "
+            f"{args.max_ratio:.0%} budget"
+        )
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("lint cache gate ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

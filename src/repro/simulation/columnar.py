@@ -301,7 +301,7 @@ class ColumnarFirstFitScheduler(FirstFitScheduler):
                 self._dirty[j] = False
                 touched.add(j)
             self._any_dirty = False
-        for j in touched:
+        for j in sorted(touched):
             self._recompute_bounds(j)
 
     # --------------------------------------------------------- placement

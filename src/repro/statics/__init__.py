@@ -25,30 +25,56 @@ from repro.statics.baseline import (
     load_baseline,
     save_baseline,
 )
+from repro.statics.cache import AnalysisCache, CACHE_VERSION, DEFAULT_CACHE_NAME
 from repro.statics.context import ModuleContext, Suppression
-from repro.statics.engine import EXCLUDED_DIRS, LintEngine, LintReport, lint_paths
+from repro.statics.engine import (
+    EXCLUDED_DIRS,
+    FileAnalysis,
+    LintEngine,
+    LintReport,
+    analyze_source,
+    lint_paths,
+)
 from repro.statics.findings import Finding, SEVERITIES
-from repro.statics.rules import ALL_RULES, KNOWN_CODES, Rule, default_rules
+from repro.statics.graph import ProjectGraph, build_graph, summarize_module
+from repro.statics.rules import (
+    ALL_RULES,
+    KNOWN_CODES,
+    PROJECT_RULES,
+    Rule,
+    default_rules,
+)
+from repro.statics.sarif import to_sarif
 
 __all__ = [
     "ALL_RULES",
+    "AnalysisCache",
     "BASELINE_VERSION",
     "Baseline",
     "BaselineEntry",
     "BaselineError",
+    "CACHE_VERSION",
     "DEFAULT_BASELINE_NAME",
+    "DEFAULT_CACHE_NAME",
     "EXCLUDED_DIRS",
+    "FileAnalysis",
     "Finding",
     "KNOWN_CODES",
     "LintEngine",
     "LintReport",
     "ModuleContext",
+    "PROJECT_RULES",
+    "ProjectGraph",
     "Rule",
     "SEVERITIES",
     "Suppression",
+    "analyze_source",
     "build_baseline",
+    "build_graph",
     "default_rules",
     "lint_paths",
     "load_baseline",
     "save_baseline",
+    "summarize_module",
+    "to_sarif",
 ]

@@ -112,6 +112,20 @@ def load_baseline(path: str | Path) -> Baseline:
             raise BaselineError(
                 f"baseline {path} has a malformed entry: {raw!r}"
             ) from exc
+        if entry.count < 1:
+            raise BaselineError(
+                f"baseline {path}: entry {entry.fingerprint} has "
+                f"non-positive count {entry.count}"
+            )
+        if entry.fingerprint in entries:
+            # Silently keeping the last duplicate would let two people
+            # "justify" the same fingerprint differently and one
+            # justification vanish without trace — refuse instead.
+            raise BaselineError(
+                f"baseline {path}: duplicate fingerprint "
+                f"{entry.fingerprint} (use 'count' for repeated identical "
+                f"lines, not repeated entries)"
+            )
         entries[entry.fingerprint] = entry
     return Baseline(entries=entries)
 

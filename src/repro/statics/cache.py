@@ -1,0 +1,200 @@
+"""Incremental analysis cache for the project-level lint engine.
+
+Parsing and per-file rule execution dominate a cold ``repro lint`` run;
+the interprocedural passes over module summaries are cheap.  The cache
+therefore persists, per file and keyed by the SHA-256 of its *content*:
+
+- the per-file findings (post-suppression, pre-baseline, without SUP001
+  findings, which are recomputed every run because suppression
+  usefulness depends on the project passes too),
+- the suppression records with the per-file codes they absorbed,
+- the :class:`~repro.statics.graph.ModuleSummary` the graph is built
+  from,
+
+so a warm run re-reads sources, hashes them, and only re-analyzes files
+whose bytes changed — everything else is JSON deserialization.
+
+Invalidation is **transitive through the import graph**: when a file
+changes, every cached file that (transitively) imports it is re-analyzed
+too.  Per-file findings are *mostly* file-local today, but rule scoping
+already reads cross-module facts (the ERR001 taxonomy, allowlist tables)
+and the summaries feed whole-program passes; transitive invalidation
+keeps the cache conservative rather than clever.
+
+The cache file is machine-local state (gitignored); a missing, corrupt,
+or version-skewed cache degrades silently to a cold run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from pathlib import Path
+
+from repro.statics.findings import Finding
+from repro.statics.graph import ModuleSummary, module_dotted_name
+
+#: Bump whenever rules, summaries, or the entry schema change shape —
+#: stale-version caches are discarded wholesale.
+CACHE_VERSION = 3
+
+#: Default cache location, relative to the lint root.
+DEFAULT_CACHE_NAME = ".harmonylint-cache.json"
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class FileEntry:
+    """One cached file: hash + findings + suppressions + summary."""
+
+    def __init__(
+        self,
+        file_hash: str,
+        findings: list[Finding],
+        suppressions: list[dict],
+        summary: ModuleSummary,
+        suppressed: int = 0,
+    ) -> None:
+        self.file_hash = file_hash
+        self.findings = findings
+        self.suppressions = suppressions
+        self.summary = summary
+        self.suppressed = suppressed
+
+    def to_dict(self) -> dict:
+        return {
+            "hash": self.file_hash,
+            "findings": [finding.to_payload() for finding in self.findings],
+            "suppressions": self.suppressions,
+            "summary": self.summary.to_dict(),
+            "suppressed": self.suppressed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FileEntry":
+        return cls(
+            file_hash=payload["hash"],
+            findings=[
+                Finding.from_payload(raw) for raw in payload["findings"]
+            ],
+            suppressions=payload["suppressions"],
+            summary=ModuleSummary.from_dict(payload["summary"]),
+            suppressed=int(payload["suppressed"]),
+        )
+
+
+class AnalysisCache:
+    """Load/consult/update the per-file analysis cache."""
+
+    def __init__(self, path: str | Path | None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.entries: dict[str, FileEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self._loaded_from_disk = False
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return  # cold run; the save below rewrites it
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != CACHE_VERSION
+        ):
+            return
+        try:
+            for rel, raw in payload.get("files", {}).items():
+                self.entries[rel] = FileEntry.from_dict(raw)
+        except (KeyError, TypeError, ValueError):
+            self.entries = {}
+            return
+        self._loaded_from_disk = True
+
+    # ------------------------------------------------------------ validation
+
+    def valid_files(self, hashes: dict[str, str]) -> set[str]:
+        """Files whose cached entry may be reused for this run.
+
+        Starts from exact content-hash matches, then *removes* the
+        transitive import-closure of every changed/new/deleted file: if
+        ``a.py`` imports ``b.py`` and ``b.py`` changed, ``a.py`` is
+        re-analyzed even though its own bytes did not move.
+        """
+        unchanged = {
+            rel
+            for rel, entry in self.entries.items()
+            if hashes.get(rel) == entry.file_hash
+        }
+        changed = set(hashes) - unchanged
+        changed |= set(self.entries) - set(hashes)  # deleted files
+
+        # Reverse import edges from the *cached* summaries (dotted module
+        # names resolved back to tracked rel paths).
+        by_module: dict[str, str] = {}
+        for rel in self.entries:
+            dotted = module_dotted_name(rel)
+            if dotted is not None:
+                by_module[dotted] = rel
+        importers: dict[str, set[str]] = {}
+        for rel, entry in self.entries.items():
+            for dotted in entry.summary.imports:
+                # `from repro.a.b import c` may name module repro.a.b.c
+                # or attribute c of repro.a.b — invalidate on both.
+                for candidate in (dotted, dotted.rsplit(".", 1)[0]):
+                    target = by_module.get(candidate)
+                    if target is not None:
+                        importers.setdefault(target, set()).add(rel)
+
+        queue = deque(sorted(changed))
+        dirty = set(changed)
+        while queue:
+            current = queue.popleft()
+            for dependent in sorted(importers.get(current, ())):
+                if dependent not in dirty:
+                    dirty.add(dependent)
+                    queue.append(dependent)
+        return unchanged - dirty
+
+    def get(self, rel: str) -> FileEntry | None:
+        return self.entries.get(rel)
+
+    def put(self, rel: str, entry: FileEntry) -> None:
+        self.entries[rel] = entry
+
+    def prune(self, live: set[str]) -> None:
+        """Drop entries for files no longer on disk."""
+        for rel in sorted(set(self.entries) - live):
+            del self.entries[rel]
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "tool": "harmonylint",
+            "files": {
+                rel: self.entries[rel].to_dict()
+                for rel in sorted(self.entries)
+            },
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")),
+            encoding="utf-8",
+        )
+        tmp.replace(self.path)
+
+
+__all__ = [
+    "AnalysisCache",
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_NAME",
+    "FileEntry",
+    "content_hash",
+]

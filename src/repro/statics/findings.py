@@ -37,6 +37,10 @@ class Finding:
     source_line:
         The stripped text of the offending source line, used for
         line-number-independent baseline fingerprints.
+    trace:
+        For interprocedural findings (FLOW001, CONC002, ORD001): the
+        source→sink call path as a tuple of ``module.qualname`` steps,
+        source end first.  Empty for single-site findings.
     """
 
     code: str
@@ -46,6 +50,7 @@ class Finding:
     column: int
     message: str
     source_line: str = ""
+    trace: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -75,8 +80,12 @@ class Finding:
         )
 
     def to_dict(self) -> dict:
-        """JSON-ready representation (the ``--format json`` schema)."""
-        return {
+        """JSON-ready representation (the ``--format json`` schema).
+
+        ``trace`` appears only on interprocedural findings so the
+        single-site schema stays byte-compatible with v1 consumers.
+        """
+        payload = {
             "code": self.code,
             "severity": self.severity,
             "path": self.path,
@@ -85,6 +94,35 @@ class Finding:
             "message": self.message,
             "fingerprint": self.fingerprint,
         }
+        if self.trace:
+            payload["trace"] = list(self.trace)
+        return payload
+
+    def to_payload(self) -> dict:
+        """Full lossless serialization (the analysis-cache wire form)."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "source_line": self.source_line,
+            "trace": list(self.trace),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Finding":
+        return cls(
+            code=payload["code"],
+            severity=payload["severity"],
+            path=payload["path"],
+            line=payload["line"],
+            column=payload["column"],
+            message=payload["message"],
+            source_line=payload.get("source_line", ""),
+            trace=tuple(payload.get("trace", ())),
+        )
 
 
 __all__ = ["Finding", "SEVERITIES"]

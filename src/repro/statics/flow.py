@@ -1,0 +1,279 @@
+"""Interprocedural (whole-program) lint passes over the project graph.
+
+Four rule families run here rather than in the per-file engine because
+their evidence spans modules:
+
+FLOW001
+    Taint: a nondeterministic *value* source (wall clock outside the
+    timing allowlist, unseeded RNG, ``os.urandom``, ``id()``) in a
+    function from which a digest sink is reachable — in either taint
+    direction.  *Argument direction*: the function transitively calls
+    into sink-containing code, so the value can ride down as an
+    argument.  *Return direction*: the function is reachable from a
+    digest root (``canonical_json`` callers, ``summary()`` builders), so
+    the value can ride back up in a return.  The finding renders the
+    full source→sink call path.
+ORD001
+    Ordering: unsorted iteration over a set-typed local/parameter or a
+    bare ``dict.keys()`` in a function on a digest path.  Set order
+    varies with hash seeding; key order echoes insertion history.
+CONC001
+    Spawn-boundary shapes that cannot survive pickling but that the
+    per-file PCK001 rule cannot see: bound methods, lambda-valued
+    locals, lambdas hidden inside spawn arguments, ``functools.partial``
+    wrappers thereof.  (Literal lambdas and same-file nested defs stay
+    PCK001's.)
+CONC002
+    Module-global mutation reachable from a spawn worker entrypoint
+    through high-confidence call edges.  Each spawned worker mutates its
+    own copy of the module; state silently diverges across processes.
+
+Every finding is attributed to the *source* site (the clock read, the
+iteration, the mutation), carries the call path in both the message and
+the structured ``trace`` field, and fingerprints on the source line — so
+baselining and ``# repro: noqa`` behave exactly as for per-file rules.
+"""
+
+from __future__ import annotations
+
+from repro.statics.findings import Finding
+from repro.statics.graph import ProjectGraph
+
+
+def _rule(code: str):
+    from repro.statics.rules import PROJECT_RULES
+
+    for rule in PROJECT_RULES:
+        if rule.code == code:
+            return rule
+    raise KeyError(code)
+
+
+def _shortest(paths: list[list[str]], graph: ProjectGraph) -> list[str]:
+    return min(paths, key=lambda p: (len(p), [graph.label(k) for k in p]))
+
+
+def _sink_description(graph: ProjectGraph, key: str) -> str:
+    fn = graph.functions[key].summary
+    if fn.sinks:
+        names = sorted({sink["name"] for sink in fn.sinks})
+        return f"{names[0]}()"
+    return f"{fn.name}() digest payload"
+
+
+def _digest_paths(
+    graph: ProjectGraph,
+    key: str,
+    reach: dict[str, str | None],
+    feed: dict[str, str | None],
+) -> list[str] | None:
+    """Shortest source-first call chain from ``key`` to a digest sink."""
+    candidates = []
+    if key in reach:
+        candidates.append(graph.path_to_root(key, reach))
+    if key in feed:
+        candidates.append(graph.path_to_root(key, feed))
+    if not candidates:
+        return None
+    return _shortest(candidates, graph)
+
+
+def _flow_pass(
+    graph: ProjectGraph,
+    reach: dict[str, str | None],
+    feed: dict[str, str | None],
+) -> list[Finding]:
+    rule = _rule("FLOW001")
+    findings = []
+    for key in sorted(graph.functions):
+        node = graph.functions[key]
+        sources = node.summary.sources
+        if not sources:
+            continue
+        path = _digest_paths(graph, key, reach, feed)
+        if path is None:
+            continue
+        trace = tuple(graph.label(step) for step in path)
+        sink_desc = _sink_description(graph, path[-1])
+        rendered = " -> ".join(trace)
+        for source in sources:
+            findings.append(
+                Finding(
+                    code=rule.code,
+                    severity=rule.severity,
+                    path=node.rel_path,
+                    line=source["line"],
+                    column=source["col"],
+                    message=(
+                        f"nondeterministic {source['kind']} source "
+                        f"{source['name']}() can reach digest sink "
+                        f"{sink_desc} [call path: {rendered}]"
+                    ),
+                    source_line=source["text"],
+                    trace=trace,
+                )
+            )
+    return findings
+
+
+def _ord_pass(
+    graph: ProjectGraph,
+    reach: dict[str, str | None],
+    feed: dict[str, str | None],
+) -> list[Finding]:
+    rule = _rule("ORD001")
+    findings = []
+    for key in sorted(graph.functions):
+        node = graph.functions[key]
+        sites = node.summary.ord_sites
+        if not sites:
+            continue
+        path = _digest_paths(graph, key, reach, feed)
+        if path is None:
+            continue
+        trace = tuple(graph.label(step) for step in path)
+        sink_desc = _sink_description(graph, path[-1])
+        rendered = " -> ".join(trace)
+        for site in sites:
+            findings.append(
+                Finding(
+                    code=rule.code,
+                    severity=rule.severity,
+                    path=node.rel_path,
+                    line=site["line"],
+                    column=site["col"],
+                    message=(
+                        f"unsorted iteration over {site['desc']} on a "
+                        f"digest path to {sink_desc}; wrap it in sorted() "
+                        f"[call path: {rendered}]"
+                    ),
+                    source_line=site["text"],
+                    trace=trace,
+                )
+            )
+    return findings
+
+
+_CONC001_MESSAGES = {
+    "bound-method": (
+        "bound method .{name} passed to spawn {method}(); spawn pickles "
+        "the callable together with its instance — pass a module-level "
+        "function and explicit picklable params"
+    ),
+    "lambda-local": (
+        "local {name!r} holds a lambda and is passed to spawn {method}(); "
+        "lambdas do not pickle — use a module-level function"
+    ),
+    "lambda-argument": (
+        "lambda inside the arguments of spawn {method}(); spawn pickles "
+        "every parameter — pass plain data or module-level callables"
+    ),
+}
+
+
+def _conc001_pass(graph: ProjectGraph) -> list[Finding]:
+    rule = _rule("CONC001")
+    findings = []
+    for key in sorted(graph.functions):
+        node = graph.functions[key]
+        for site in node.summary.spawn_sites:
+            for issue in site["issues"]:
+                template = _CONC001_MESSAGES[issue["kind"]]
+                message = template.format(
+                    name=issue.get("name", "<lambda>"), method=site["method"]
+                )
+                findings.append(
+                    Finding(
+                        code=rule.code,
+                        severity=rule.severity,
+                        path=node.rel_path,
+                        line=issue["line"],
+                        column=issue["col"],
+                        message=(
+                            f"{message} [spawn site: "
+                            f"{graph.label(key)}:{site['line']}]"
+                        ),
+                        source_line=issue["text"],
+                    )
+                )
+    return findings
+
+
+def _spawn_entrypoints(graph: ProjectGraph) -> dict[str, tuple[str, int]]:
+    """Resolved worker entrypoints: entry key -> (spawn scope key, line)."""
+    entries: dict[str, tuple[str, int]] = {}
+    for key in sorted(graph.functions):
+        node = graph.functions[key]
+        for site in node.summary.spawn_sites:
+            for ref in site["callables"]:
+                if ref["kind"] != "named":
+                    continue
+                target = ref["target"]
+                if "." in target:
+                    resolved = graph._resolve_qualified(target)
+                else:
+                    local_key = f"{node.rel_path}::{target}"
+                    resolved = (
+                        [local_key] if local_key in graph.functions else []
+                    )
+                for entry in resolved:
+                    entries.setdefault(entry, (key, site["line"]))
+    return entries
+
+
+def _conc002_pass(graph: ProjectGraph) -> list[Finding]:
+    rule = _rule("CONC002")
+    findings = []
+    seen: set[tuple[str, int, str]] = set()
+    entrypoints = _spawn_entrypoints(graph)
+    for entry in sorted(entrypoints):
+        spawn_scope, spawn_line = entrypoints[entry]
+        closure = graph.worker_closure(entry)
+        for fkey in sorted(closure):
+            node = graph.functions[fkey]
+            for mutation in node.summary.mutations:
+                dedup = (node.rel_path, mutation["line"], mutation["name"])
+                if dedup in seen:
+                    continue
+                seen.add(dedup)
+                chain = list(reversed(graph.path_to_root(fkey, closure)))
+                trace = tuple(graph.label(step) for step in chain)
+                rendered = " -> ".join(trace)
+                findings.append(
+                    Finding(
+                        code=rule.code,
+                        severity=rule.severity,
+                        path=node.rel_path,
+                        line=mutation["line"],
+                        column=mutation["col"],
+                        message=(
+                            f"mutation of module global {mutation['name']!r} "
+                            f"is reachable from spawn worker entrypoint "
+                            f"{graph.label(entry)} [call path: {rendered}; "
+                            f"spawned at {graph.label(spawn_scope)}:"
+                            f"{spawn_line}]; each worker mutates its own "
+                            "process copy — move the state into task "
+                            "params or returns"
+                        ),
+                        source_line=mutation["text"],
+                        trace=trace,
+                    )
+                )
+    return findings
+
+
+def run_project_passes(graph: ProjectGraph) -> list[Finding]:
+    """All interprocedural findings, deterministically ordered."""
+    reach = graph.sink_reach()
+    feed = graph.digest_feed()
+    findings = (
+        _flow_pass(graph, reach, feed)
+        + _ord_pass(graph, reach, feed)
+        + _conc001_pass(graph)
+        + _conc002_pass(graph)
+    )
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+__all__ = ["run_project_passes"]

@@ -22,6 +22,18 @@ NUM001     unguarded division/log/sqrt in queueing/sizing hot paths
 API001     mutable default arguments → no cross-call state leaks
 SUP001     useless/unknown ``# repro: noqa`` suppressions
 =========  ==============================================================
+
+Four further families are *whole-program* passes implemented in
+:mod:`repro.statics.flow` over the :mod:`repro.statics.graph` call graph
+(their classes here carry the catalog metadata; ``Rule.project`` is
+``True`` and they define no ``visit_*`` handlers):
+
+=========  ==============================================================
+FLOW001    nondeterministic sources reaching digest sinks (taint paths)
+ORD001     unsorted set / dict.keys() iteration on a digest path
+CONC001    unpicklable callables/params at spawn boundaries (cross-file)
+CONC002    module-global mutation reachable from spawn workers
+=========  ==============================================================
 """
 
 from __future__ import annotations
@@ -41,6 +53,9 @@ class Rule:
     severity: str = "error"
     summary: str = ""
     rationale: str = ""
+    #: Whole-program rules carry catalog metadata here but run in
+    #: :mod:`repro.statics.flow`, not in the per-file AST walk.
+    project: bool = False
 
     def applies(self, ctx: ModuleContext) -> bool:
         """Whether this rule runs on the module at all (path scoping)."""
@@ -661,6 +676,69 @@ class MutableDefaultArgument(Rule):
                 )
 
 
+# --------------------------------------------------- whole-program rules
+
+
+class ProjectRule(Rule):
+    """Marker base for rules implemented in :mod:`repro.statics.flow`."""
+
+    project = True
+
+
+class TaintedDigestFlow(ProjectRule):
+    code = "FLOW001"
+    name = "tainted-digest-flow"
+    summary = "nondeterministic sources must not reach digest sinks"
+    rationale = (
+        "Per-file rules see one module; the flows that actually corrupt "
+        "digests cross modules.  A wall-clock read, unseeded RNG, "
+        "os.urandom or id() in a function from which canonical_json, "
+        "summary_digest, fleet_digest or a journal writer is reachable "
+        "(as an argument flowing down, or a return value flowing back up "
+        "into a summary() payload) makes the digest depend on scheduling, "
+        "hash seeds or process identity.  The finding carries the full "
+        "source→sink call path."
+    )
+
+
+class UnsortedDigestIteration(ProjectRule):
+    code = "ORD001"
+    name = "unsorted-digest-iteration"
+    summary = "set / dict.keys() iteration on digest paths must be sorted"
+    rationale = (
+        "DET003 catches iteration over set *expressions*; this pass "
+        "follows set-typed locals/params and bare dict.keys() through "
+        "the call graph, and flags them only on paths that feed a digest "
+        "sink or journal line — where iteration order becomes bytes."
+    )
+
+
+class SpawnBoundaryCallable(ProjectRule):
+    code = "CONC001"
+    name = "spawn-boundary-callable"
+    summary = "spawn boundaries need module-level callables and params"
+    rationale = (
+        "PCK001 flags literal lambdas and same-file closures; this pass "
+        "covers the shapes it cannot see — bound methods of stateful "
+        "objects, lambda-valued locals, lambdas hidden in spawn "
+        "arguments, functools.partial wrappers — all of which fail to "
+        "pickle exactly on the spawn-context platforms CI does not run."
+    )
+
+
+class WorkerGlobalMutation(ProjectRule):
+    code = "CONC002"
+    name = "worker-global-mutation"
+    severity = "warning"
+    summary = "spawn workers must not mutate module-global state"
+    rationale = (
+        "A module global mutated in a worker's call closure is mutated "
+        "per process: every spawn worker sees (and changes) its own "
+        "copy, the parent sees none of it, and resume/replay sees a "
+        "third state.  Worker state belongs in task params and returns."
+    )
+
+
 # --------------------------------------------------------------------- SUP001
 
 
@@ -696,7 +774,16 @@ ALL_RULES: tuple[type[Rule], ...] = (
     UnpicklableTask,
     UnguardedNumerics,
     MutableDefaultArgument,
+    TaintedDigestFlow,
+    UnsortedDigestIteration,
+    SpawnBoundaryCallable,
+    WorkerGlobalMutation,
     UselessSuppression,
+)
+
+#: The whole-program rules, in catalog order (metadata singletons).
+PROJECT_RULES: tuple[Rule, ...] = tuple(
+    rule() for rule in ALL_RULES if rule.project
 )
 
 #: Known rule codes (includes SYN000, the engine's parse-failure code).
@@ -706,12 +793,13 @@ KNOWN_CODES = frozenset(
 
 
 def default_rules() -> list[Rule]:
-    """Fresh instances of every rule, in catalog order."""
-    return [rule() for rule in ALL_RULES]
+    """Fresh instances of every per-file rule, in catalog order."""
+    return [rule() for rule in ALL_RULES if not rule.project]
 
 
 __all__ = [
     "Rule",
+    "ProjectRule",
     "UnseededRandomness",
     "WallClockRead",
     "UnsortedSetIteration",
@@ -722,8 +810,13 @@ __all__ = [
     "UnpicklableTask",
     "UnguardedNumerics",
     "MutableDefaultArgument",
+    "TaintedDigestFlow",
+    "UnsortedDigestIteration",
+    "SpawnBoundaryCallable",
+    "WorkerGlobalMutation",
     "UselessSuppression",
     "ALL_RULES",
+    "PROJECT_RULES",
     "KNOWN_CODES",
     "default_rules",
 ]

@@ -1,0 +1,23 @@
+"""Bad: unpicklable callables cross the spawn boundary (CONC001)."""
+
+from multiprocessing import get_context
+
+
+class ShardRunner:
+    def __init__(self, shards):
+        self.shards = shards
+
+    def work(self, shard):
+        return shard * 2
+
+    def run_all(self):
+        ctx = get_context("spawn")
+        with ctx.Pool(2) as pool:
+            return pool.map(self.work, self.shards)
+
+
+def run_with_lambda_local(shards):
+    scale = lambda shard: shard * 2  # noqa: E731 (deliberate fixture)
+    ctx = get_context("spawn")
+    with ctx.Pool(2) as pool:
+        return pool.map(scale, shards)

@@ -1,0 +1,24 @@
+"""Bad: spawn worker mutates a module-global registry (CONC002).
+
+Each spawned worker mutates its *own* copy of ``_COUNTS``; the parent
+never sees the updates and the state silently diverges across processes.
+"""
+
+from multiprocessing import get_context
+
+_COUNTS: dict = {}
+
+
+def _bump(name):
+    _COUNTS[name] = _COUNTS.get(name, 0) + 1
+
+
+def run_shard(name):
+    _bump(name)
+    return name
+
+
+def run_all(names):
+    ctx = get_context("spawn")
+    with ctx.Pool(2) as pool:
+        return pool.map(run_shard, names)

@@ -1,0 +1,29 @@
+"""Bad: unsorted set / dict.keys() iteration on a digest path (ORD001)."""
+
+import json
+
+
+def canonical_json(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def _labels(tags: set) -> list:
+    ordered = []
+    for tag in tags:
+        ordered.append(str(tag))
+    return ordered
+
+
+def _key_order(counts: dict) -> list:
+    names = []
+    for name in counts.keys():
+        names.append(name)
+    return names
+
+
+def render(tags: set) -> str:
+    return canonical_json({"labels": _labels(tags)})
+
+
+def summarize(counts: dict) -> str:
+    return canonical_json({"keys": _key_order(counts)})

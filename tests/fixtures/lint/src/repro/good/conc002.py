@@ -1,0 +1,14 @@
+"""Good: spawn workers communicate through params and returns only."""
+
+from multiprocessing import get_context
+
+
+def run_shard(item):
+    name, count = item
+    return name, count + 1
+
+
+def run_all(counts: dict):
+    ctx = get_context("spawn")
+    with ctx.Pool(2) as pool:
+        return dict(pool.map(run_shard, sorted(counts.items())))

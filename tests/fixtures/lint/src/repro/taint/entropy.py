@@ -1,0 +1,15 @@
+"""Bad: os.urandom entropy crosses a module boundary into a digest.
+
+The FLOW001 pair: the nondeterministic *source* lives here, the digest
+*sink* lives in :mod:`repro.taint.ledger`.  Linted alone this file is
+clean — only the whole-program pass connects the two.
+"""
+
+import os
+
+from repro.taint.ledger import record_entry
+
+
+def stamp_entry(payload: dict) -> str:
+    nonce = os.urandom(8).hex()
+    return record_entry(dict(payload, nonce=nonce))

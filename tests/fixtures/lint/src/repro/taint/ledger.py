@@ -1,0 +1,11 @@
+"""Digest-sink half of the FLOW001 fixture pair (clean on its own)."""
+
+import json
+
+
+def canonical_json(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def record_entry(entry: dict) -> str:
+    return canonical_json(entry)

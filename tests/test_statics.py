@@ -7,6 +7,8 @@ same layout they see in the real repository.
 """
 
 import json
+import shutil
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -71,6 +73,9 @@ class TestBadCorpusTriggersEveryRule:
             ("src/repro/bad/sup001.py", "SUP001"),
             ("src/repro/bad/syn000.py", "SYN000"),
             ("src/repro/queueing/num001.py", "NUM001"),
+            ("src/repro/bad/ord001.py", "ORD001"),
+            ("src/repro/bad/conc001.py", "CONC001"),
+            ("src/repro/bad/conc002.py", "CONC002"),
         ],
     )
     def test_bad_fixture_triggers_exactly_its_code(self, fixture, code):
@@ -103,8 +108,14 @@ class TestGoodCorpusIsClean:
             "src/repro/good/pck001.py",
             "src/repro/good/api001.py",
             "src/repro/good/sup001.py",
+            "src/repro/good/conc002.py",
             "src/repro/queueing/num001_good.py",
             "src/repro/runner/det002.py",
+            # each half of the taint pair is clean on its own; FLOW001
+            # only fires when both sides are linted together (see
+            # TestProjectPasses).
+            "src/repro/taint/entropy.py",
+            "src/repro/taint/ledger.py",
         ],
     )
     def test_good_fixture_is_clean(self, fixture):
@@ -308,11 +319,14 @@ class TestCli:
             "stale_baseline_entries", "by_code",
         }
         assert payload["summary"]["total"] == len(payload["findings"])
+        required = {
+            "code", "severity", "path", "line", "column",
+            "message", "fingerprint",
+        }
         for finding in payload["findings"]:
-            assert set(finding) == {
-                "code", "severity", "path", "line", "column",
-                "message", "fingerprint",
-            }
+            # "trace" is only present on project-level findings that
+            # carry a rendered call path.
+            assert required <= set(finding) <= required | {"trace"}
         by_code = payload["summary"]["by_code"]
         assert sum(by_code.values()) == payload["summary"]["total"]
         assert set(by_code) == KNOWN_CODES
@@ -346,6 +360,245 @@ class TestCli:
              "--baseline", str(baseline)]
         )
         assert code == 2
+
+
+class TestProjectPasses:
+    def test_flow001_reports_cross_module_call_path(self):
+        report = lint_corpus("src/repro/taint")
+        [finding] = report.findings
+        assert finding.code == "FLOW001"
+        assert finding.path == "src/repro/taint/entropy.py"
+        assert "os.urandom()" in finding.message
+        assert "canonical_json()" in finding.message
+        assert (
+            "call path: repro.taint.entropy.stamp_entry"
+            " -> repro.taint.ledger.record_entry" in finding.message
+        )
+        assert finding.trace == (
+            "repro.taint.entropy.stamp_entry",
+            "repro.taint.ledger.record_entry",
+        )
+
+    def test_ord001_names_the_container_and_path(self):
+        report = lint_corpus("src/repro/bad/ord001.py")
+        messages = sorted(f.message for f in report.findings)
+        assert len(messages) == 2
+        assert "dict.keys()" in messages[0]
+        assert (
+            "repro.bad.ord001._key_order -> repro.bad.ord001.summarize"
+            in messages[0]
+        )
+        assert "set 'tags'" in messages[1]
+        assert (
+            "repro.bad.ord001._labels -> repro.bad.ord001.render"
+            in messages[1]
+        )
+
+    def test_conc001_flags_bound_method_and_lambda_local(self):
+        report = lint_corpus("src/repro/bad/conc001.py")
+        messages = " ".join(f.message for f in report.findings)
+        assert "bound method .work" in messages
+        assert "local 'scale' holds a lambda" in messages
+        assert "spawn site: repro.bad.conc001.ShardRunner.run_all:16" in messages
+
+    def test_conc002_reports_global_and_spawn_site(self):
+        report = lint_corpus("src/repro/bad/conc002.py")
+        [finding] = report.findings
+        assert finding.code == "CONC002"
+        assert finding.severity == "warning"
+        assert "module global '_COUNTS'" in finding.message
+        assert "spawned at repro.bad.conc002.run_all:24" in finding.message
+        assert finding.trace == (
+            "repro.bad.conc002.run_shard",
+            "repro.bad.conc002._bump",
+        )
+
+    def test_project_finding_respects_noqa(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text(
+            "import json\n"
+            "import os\n\n\n"
+            "def canonical_json(payload) -> str:\n"
+            "    return json.dumps(payload, sort_keys=True)\n\n\n"
+            "def stamp() -> str:\n"
+            "    nonce = os.urandom(4).hex()  # repro: noqa[FLOW001]\n"
+            "    return canonical_json({'nonce': nonce})\n"
+        )
+        report = lint_paths(["src"], root=tmp_path)
+        # FLOW001 is suppressed, and the suppression is counted as used
+        # so no SUP001 appears either.
+        assert report.findings == []
+        assert report.suppressed == 1
+
+
+class TestParallelLint:
+    def test_parallel_matches_serial(self):
+        serial = lint_corpus("src")
+        parallel = lint_paths(["src"], root=FIXTURE_ROOT, jobs=2)
+        assert [f.to_dict() for f in parallel.findings] == [
+            f.to_dict() for f in serial.findings
+        ]
+
+
+class TestAnalysisCache:
+    def _write_chain(self, root):
+        pkg = root / "src" / "repro" / "chain"
+        pkg.mkdir(parents=True)
+        (pkg / "c.py").write_text("def h():\n    return 1\n")
+        (pkg / "b.py").write_text(
+            "from repro.chain.c import h\n\n\ndef f():\n    return h()\n"
+        )
+        (pkg / "a.py").write_text(
+            "from repro.chain.b import f\n\n\ndef g():\n    return f()\n"
+        )
+        (pkg / "lone.py").write_text("def alone():\n    return 2\n")
+
+    def test_warm_run_replays_identical_findings(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        cold = lint_paths(["src"], root=FIXTURE_ROOT, cache=cache)
+        assert cold.cache_hits == 0 and cold.cache_misses > 0
+        warm = lint_paths(["src"], root=FIXTURE_ROOT, cache=cache)
+        assert warm.cache_misses == 0
+        assert warm.cache_hits == cold.cache_misses
+        assert warm.suppressed == cold.suppressed
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+
+    def test_transitive_import_invalidation(self, tmp_path):
+        self._write_chain(tmp_path)
+        cache = tmp_path / "cache.json"
+        lint_paths(["src"], root=tmp_path, cache=cache)
+        leaf = tmp_path / "src" / "repro" / "chain" / "c.py"
+        leaf.write_text("def h():\n    return 3\n")
+        warm = lint_paths(["src"], root=tmp_path, cache=cache)
+        # c.py changed, so its importers b.py and a.py re-analyze too;
+        # lone.py imports nothing in the chain and replays from cache.
+        assert warm.cache_misses == 3
+        assert warm.cache_hits == 1
+
+    def test_corrupt_cache_falls_back_to_full_analysis(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        cold = lint_paths(["src"], root=FIXTURE_ROOT, cache=cache)
+        cache.write_text("{nonsense")
+        warm = lint_paths(["src"], root=FIXTURE_ROOT, cache=cache)
+        assert warm.cache_hits == 0
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+
+
+class TestBaselineStability:
+    def test_fingerprints_survive_line_moves(self):
+        engine = LintEngine()
+        src = "def f(scv):\n    return scv == 1.0\n"
+        moved = "# header comment\n\n\n" + src
+        a = engine.lint_source("src/repro/x.py", src)
+        b = engine.lint_source("src/repro/x.py", moved)
+        assert [f.fingerprint for f in a] == [f.fingerprint for f in b]
+
+    def test_fingerprints_survive_function_reordering(self):
+        engine = LintEngine()
+        f1 = "def f(scv):\n    return scv == 1.0\n"
+        f2 = "def g(load):\n    return load == 2.0\n"
+        a = engine.lint_source("src/repro/x.py", f1 + "\n\n" + f2)
+        b = engine.lint_source("src/repro/x.py", f2 + "\n\n" + f1)
+        assert {f.fingerprint for f in a} == {f.fingerprint for f in b}
+
+    def _saved_baseline(self, tmp_path):
+        findings = lint_corpus("src/repro/bad/det004.py").findings
+        path = tmp_path / "baseline.json"
+        save_baseline(build_baseline(findings[:1]), path)
+        return path
+
+    def test_duplicate_fingerprint_entries_raise(self, tmp_path):
+        path = self._saved_baseline(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["findings"].append(dict(payload["findings"][0]))
+        path.write_text(json.dumps(payload))
+        with pytest.raises(BaselineError, match="duplicate"):
+            load_baseline(path)
+
+    def test_nonpositive_count_raises(self, tmp_path):
+        path = self._saved_baseline(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["findings"][0]["count"] = 0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(BaselineError, match="count"):
+            load_baseline(path)
+
+
+class TestCliV2:
+    def test_sarif_output(self, capsys):
+        code = main(
+            ["lint", "src", "--root", str(FIXTURE_ROOT),
+             "--format", "sarif", "--no-cache"]
+        )
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        [run] = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "harmonylint"
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        assert {"FLOW001", "ORD001", "CONC001", "CONC002"} <= rule_ids
+        results = run["results"]
+        assert results
+        for result in results:
+            assert "harmonylint/v1" in result["partialFingerprints"]
+        flows = [r for r in results if r["ruleId"] == "FLOW001"]
+        assert flows
+        assert all("codeFlows" in r for r in flows)
+
+    def test_graph_lists_callers_and_digest_paths(self, capsys):
+        code = main(
+            ["lint", "src", "--root", str(FIXTURE_ROOT),
+             "--graph", "record_entry"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro.taint.ledger.record_entry" in out
+        assert "repro.taint.entropy.stamp_entry" in out
+
+    def test_graph_unknown_symbol_exits_two(self, capsys):
+        code = main(
+            ["lint", "src", "--root", str(FIXTURE_ROOT),
+             "--graph", "no_such_symbol"]
+        )
+        assert code == 2
+
+    def test_changed_only_scopes_report(self, tmp_path, capsys):
+        if shutil.which("git") is None:
+            pytest.skip("git unavailable")
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "stable.py").write_text(
+            "def f(scv):\n    return scv == 1.0\n"
+        )
+        (pkg / "touched.py").write_text(
+            "def g(load):\n    return load == 2.0\n"
+        )
+        git = ["git", "-C", str(tmp_path)]
+        subprocess.run(git + ["init", "-q"], check=True)
+        subprocess.run(git + ["add", "-A"], check=True)
+        subprocess.run(
+            git + ["-c", "user.email=t@example.com", "-c", "user.name=t",
+                   "-c", "commit.gpgsign=false",
+                   "commit", "-q", "--no-verify", "-m", "seed"],
+            check=True,
+        )
+        (pkg / "touched.py").write_text(
+            "def g(load):\n    return load == 2.5\n"
+        )
+        code = main(
+            ["lint", "src", "--root", str(tmp_path),
+             "--changed-only", "--no-baseline", "--no-cache"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "touched.py" in out
+        assert "stable.py" not in out
 
 
 class TestShippedTree:
